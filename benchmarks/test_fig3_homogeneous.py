@@ -1,0 +1,30 @@
+"""Figure 3: P95 waiting time with homogeneous containers stays near the SLO."""
+
+from repro.experiments.fig3_homogeneous import fraction_meeting_slo, run_fig3
+
+
+def run_reduced():
+    return run_fig3(
+        mus=(5.0, 10.0),
+        slo_deadlines=(0.1, 0.2),
+        arrival_rates=(10.0, 30.0, 50.0),
+        duration=150.0,
+        seed=31,
+    )
+
+
+def test_fig3_homogeneous_model_validation(benchmark):
+    points = benchmark.pedantic(run_reduced, rounds=1, iterations=1)
+    # the paper's finding: measured P95 waiting times are below or close to
+    # the SLO deadline across arrival rates, service rates, and deadlines
+    assert fraction_meeting_slo(points, tolerance=0.4) >= 0.8
+    # container counts grow with the arrival rate for every configuration
+    for mu in (5.0, 10.0):
+        for slo in (0.1, 0.2):
+            series = sorted(
+                (p.arrival_rate, p.containers)
+                for p in points
+                if p.mu == mu and p.slo_deadline == slo
+            )
+            counts = [c for _, c in series]
+            assert counts == sorted(counts)

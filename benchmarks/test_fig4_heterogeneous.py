@@ -1,0 +1,22 @@
+"""Figure 4: P95 waiting time with heterogeneous (deflated) containers stays near the SLO."""
+
+from repro.experiments.fig4_heterogeneous import fraction_meeting_slo, run_fig4
+
+
+def run_reduced():
+    return run_fig4(
+        proportions=(0.25, 0.5, 0.75, 1.0),
+        arrival_rates=(20.0, 60.0, 100.0),
+        duration=120.0,
+        seed=41,
+    )
+
+
+def test_fig4_heterogeneous_model_validation(benchmark):
+    points = benchmark.pedantic(run_reduced, rounds=1, iterations=1)
+    # across every deflation proportion and rate the heterogeneous sizing
+    # keeps the measured P95 waiting time near the 100 ms SLO
+    assert fraction_meeting_slo(points, tolerance=0.4) >= 0.8
+    # the heterogeneous model never asks for fewer containers than the
+    # homogeneous provisioning it starts from
+    assert all(p.total_containers >= p.homogeneous_containers for p in points)

@@ -1,0 +1,43 @@
+"""Figure 5: compute time of the allocation algorithm vs. number of containers."""
+
+import pytest
+
+from repro.core.queueing.sizing import (
+    required_containers_fast,
+    required_containers_naive,
+)
+from repro.experiments.fig5_scalability import max_time_seconds, run_fig5
+
+
+def test_fig5_scalability_curves(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_fig5(container_counts=(10, 100, 500, 1000), repeats=1),
+        rounds=1, iterations=1,
+    )
+    # the paper's finding: the optimised implementation reacts in well under
+    # a second even with 1000 running containers and a doubled workload
+    assert max_time_seconds(points, "fast") < 1.0
+    # and the naive implementation's cost grows with the container count
+    naive_2x = {p.current_containers: p.compute_seconds for p in points
+                if p.implementation == "naive" and p.spike == "2x"}
+    assert naive_2x[1000] > naive_2x[10]
+
+
+@pytest.mark.parametrize("containers", [100, 500, 1000])
+def test_fast_sizing_latency(benchmark, containers):
+    """Micro-benchmark: one sizing decision after a 2x spike (the Julia-path stand-in)."""
+    lam = 0.9 * containers * 10.0 * 2.0
+    result = benchmark(
+        required_containers_fast, lam, 10.0, 0.1, 0.99, containers
+    )
+    assert result.containers >= containers
+
+
+@pytest.mark.parametrize("containers", [10, 50, 100])
+def test_naive_sizing_latency(benchmark, containers):
+    """Micro-benchmark: the same decision through the naive (Scala stand-in) path."""
+    lam = 0.9 * containers * 10.0 * 2.0
+    result = benchmark(
+        required_containers_naive, lam, 10.0, 0.1, 0.99, containers
+    )
+    assert result.containers >= containers

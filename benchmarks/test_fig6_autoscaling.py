@@ -1,0 +1,21 @@
+"""Figure 6: model-driven autoscaling tracks two time-varying workloads."""
+
+from repro.experiments.fig6_autoscaling import (
+    default_rate_profiles,
+    run_fig6,
+    tracking_correlation,
+)
+
+
+def test_fig6_autoscaling_tracks_workload(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig6(step_duration=40.0, seed=61), rounds=1, iterations=1
+    )
+    micro_rates, mobile_rates = default_rate_profiles()
+    # allocations rise and fall with each function's own workload
+    assert tracking_correlation(micro_rates, 40.0, result.micro_timeline) > 0.4
+    assert tracking_correlation(mobile_rates, 40.0, result.mobilenet_timeline) > 0.4
+    # the micro-benchmark's peak allocation (30 req/s) clearly exceeds its
+    # trough allocation (5 req/s)
+    _, micro_counts = result.micro_timeline
+    assert max(micro_counts) >= min(c for c in micro_counts if c > 0) + 2

@@ -1,0 +1,35 @@
+"""Figure 8: fair share and reclamation under overload (two functions)."""
+
+from repro.experiments.fig8_reclamation import run_fig8
+
+
+def test_fig8_reclamation_policies(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig8(phase_duration=90.0, seed=81, include_openwhisk=True),
+        rounds=1, iterations=1,
+    )
+    termination, deflation = result.termination, result.deflation
+
+    # 1. Both LaSS policies keep every function that wants more than its
+    #    guaranteed share at or above that share during overload.
+    for outcome in (termination, deflation):
+        for name, violation in outcome.fair_share_violations.items():
+            assert violation <= 0.1
+
+    # 2. Deflation leaves less capacity unused than termination
+    #    (paper: 78.2% -> 83.2% mean utilisation, ~+5-6 points).
+    assert deflation.mean_utilization > termination.mean_utilization
+    assert result.utilization_improvement > 0.0
+
+    # 3. Deflation reduces container churn (fewer creations + terminations).
+    assert (deflation.container_operations["creations"]
+            + deflation.container_operations["terminations"]) <= (
+        termination.container_operations["creations"]
+        + termination.container_operations["terminations"]
+    )
+
+    # 4. Vanilla OpenWhisk collapses on the same workload (cascading
+    #    invoker failure, most requests lost).
+    assert result.openwhisk is not None
+    assert result.openwhisk.failed_invokers >= 1
+    assert result.openwhisk.completions < 0.7 * result.openwhisk.arrivals

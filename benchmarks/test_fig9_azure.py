@@ -1,0 +1,30 @@
+"""Figure 9: Azure-like trace replay with six functions and two users."""
+
+from repro.experiments.fig9_azure import run_fig9
+
+
+def test_fig9_azure_trace_replay(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig9(duration_minutes=8, seed=91, trace_seed=2019),
+        rounds=1, iterations=1,
+    )
+    termination, deflation = result.termination, result.deflation
+
+    # 1. The cluster is highly utilised in both runs (the experiment is
+    #    set up so total demand stresses the 12-vCPU cluster).
+    assert termination.mean_utilization > 0.5
+
+    # 2. The deflation policy wastes less capacity than termination
+    #    (paper: 87.7% -> 93% utilisation).
+    assert deflation.mean_utilization >= termination.mean_utilization
+
+    # 3. Deflation causes far fewer container create/terminate operations,
+    #    i.e. fewer cold starts and rerun requests.
+    assert deflation.churn <= termination.churn
+
+    # 4. Every function is tracked in the timelines and the guaranteed
+    #    shares follow the 1:2 user weighting.
+    user1 = sum(termination.guaranteed_cpu[f] for f in ("shufflenet", "geofence", "image-resizer"))
+    user2 = sum(termination.guaranteed_cpu[f] for f in ("mobilenet", "squeezenet", "binaryalert"))
+    assert abs(user1 - 4.0) < 1e-6
+    assert abs(user2 - 8.0) < 1e-6

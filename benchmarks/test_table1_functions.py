@@ -1,0 +1,9 @@
+"""Benchmark / regeneration of Table 1: the function catalogue."""
+
+from repro.experiments.table1_functions import catalogue_consistency_checks, run_table1
+
+
+def test_table1_catalogue(benchmark):
+    rows = benchmark(run_table1)
+    assert len(rows) == 7
+    assert catalogue_consistency_checks() == []

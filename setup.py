@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment used for offline reproduction ships an older setuptools
+without the ``wheel`` package, so PEP 660 editable installs are not
+available.  This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``python setup.py develop``) work; all
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

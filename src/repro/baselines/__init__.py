@@ -1,0 +1,26 @@
+"""Baseline controllers LaSS is compared against.
+
+* :mod:`repro.baselines.openwhisk` — the vanilla OpenWhisk behaviour the
+  paper compares against in §6.6: a sharding-pool load balancer that
+  packs containers onto invokers by memory only (ignoring CPU) and
+  prefers to keep each function on its own "home" invoker.  Under the
+  overload scenario this over-packs a node, makes it unresponsive, and
+  cascades the failure to the remaining invokers.
+* :mod:`repro.baselines.static_allocation` — a fixed per-function
+  container allocation with no autoscaling.
+* :mod:`repro.baselines.reactive` — a Knative-style concurrency-targeted
+  reactive autoscaler, used in ablation benchmarks as a model-free
+  alternative to LaSS's queueing model.
+"""
+
+from repro.baselines.openwhisk import VanillaOpenWhiskController, OpenWhiskConfig
+from repro.baselines.static_allocation import StaticAllocationController
+from repro.baselines.reactive import ConcurrencyAutoscaler, ReactiveControllerConfig
+
+__all__ = [
+    "VanillaOpenWhiskController",
+    "OpenWhiskConfig",
+    "StaticAllocationController",
+    "ConcurrencyAutoscaler",
+    "ReactiveControllerConfig",
+]

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``size``
+    One-off container sizing: given an arrival rate, service time, SLO
+    deadline and percentile, print the container count each model
+    recommends (M/M/c reference, vectorised fast path, M/G/c with a
+    chosen service-time variability).
+``simulate``
+    Run a single function on the simulated edge cluster under the LaSS
+    controller and print the measured waiting-time percentiles, SLO
+    attainment, and utilisation.
+``experiment``
+    Regenerate one of the paper's tables/figures (``table1``, ``fig3`` …
+    ``fig9``) and print its text rendering.
+``functions``
+    List the Table 1 function catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.queueing.mgc import required_containers_mgc
+from repro.core.queueing.sizing import required_containers, required_containers_fast
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    mu = 1.0 / args.service_time
+    reference = required_containers(args.rate, mu, args.slo, args.percentile)
+    fast = required_containers_fast(args.rate, mu, args.slo, args.percentile)
+    mgc = required_containers_mgc(args.rate, args.service_time, args.scv, args.slo, args.percentile)
+    print(f"arrival rate       : {args.rate:g} req/s")
+    print(f"mean service time  : {args.service_time * 1000:g} ms (mu = {mu:g} req/s)")
+    print(f"SLO                : P{args.percentile * 100:.0f} waiting time <= {args.slo * 1000:g} ms")
+    print(f"M/M/c (Algorithm 1): {reference.containers} containers "
+          f"(P(wait<=t) = {reference.achieved_probability:.3f})")
+    print(f"M/M/c (fast path)  : {fast.containers} containers")
+    print(f"M/G/c (SCV={args.scv:g})   : {mgc.containers} containers "
+          f"(P(wait<=t) = {mgc.achieved_probability:.3f})")
+    return 0
+
+
+def _cmd_functions(args: argparse.Namespace) -> int:
+    from repro.experiments.table1_functions import format_table1
+
+    print(format_table1())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import ClusterConfig, ControllerConfig, ReclamationPolicy, SimulationRunner
+    from repro.workloads import StaticRate, WorkloadBinding, get_function
+
+    function = get_function(args.function)
+    runner = SimulationRunner(
+        workloads=[WorkloadBinding(function, StaticRate(args.rate, duration=args.duration),
+                                   slo_deadline=args.slo)],
+        cluster_config=ClusterConfig(node_count=args.nodes, cpu_per_node=args.cpu_per_node),
+        controller_config=ControllerConfig(
+            reclamation=ReclamationPolicy(args.reclamation),
+        ),
+        seed=args.seed,
+    )
+    result = runner.run(duration=args.duration)
+    # exclude the start-up transient (first cold start + initial scale-up)
+    # from the SLO accounting, like the experiment harnesses do
+    warmup = min(30.0, args.duration / 4)
+    summary = result.waiting_summary(function.name, warmup=warmup)
+    slo = result.slo({function.name: args.slo}, warmup=warmup)[function.name]
+    _, containers = result.container_timeline(function.name)
+    print(f"function            : {function.name}")
+    print(f"completed requests  : {result.metrics.counters['completions']}")
+    print(f"final allocation    : {containers[-1] if containers else 0} containers")
+    print(f"mean / P95 / P99 wait: {summary.mean * 1000:.1f} / {summary.p95 * 1000:.1f} / "
+          f"{summary.p99 * 1000:.1f} ms")
+    print(f"SLO attainment      : {slo.attainment * 100:.1f}% "
+          f"({'met' if slo.satisfied else 'violated'})")
+    print(f"mean utilisation    : {result.mean_utilization() * 100:.1f}%")
+    return 0 if slo.satisfied else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name.lower()
+    if name == "table1":
+        from repro.experiments.table1_functions import format_table1
+        print(format_table1())
+    elif name == "fig3":
+        from repro.experiments.fig3_homogeneous import format_fig3, run_fig3
+        print(format_fig3(run_fig3(duration=args.duration or 300.0)))
+    elif name == "fig4":
+        from repro.experiments.fig4_heterogeneous import format_fig4, run_fig4
+        print(format_fig4(run_fig4(duration=args.duration or 240.0)))
+    elif name == "fig5":
+        from repro.experiments.fig5_scalability import format_fig5, run_fig5
+        print(format_fig5(run_fig5()))
+    elif name == "fig6":
+        from repro.experiments.fig6_autoscaling import run_fig6
+        result = run_fig6(step_duration=args.duration or 60.0)
+        times, counts = result.micro_timeline
+        for t, c in zip(times, counts):
+            print(f"t={t:7.1f}s  microbenchmark containers={c}")
+    elif name == "fig7":
+        from repro.experiments.fig7_deflation import format_fig7, run_fig7
+        print(format_fig7(run_fig7()))
+    elif name == "fig8":
+        from repro.experiments.fig8_reclamation import format_fig8, run_fig8
+        print(format_fig8(run_fig8(phase_duration=args.duration or 180.0)))
+    elif name == "fig9":
+        from repro.experiments.fig9_azure import format_fig9, run_fig9
+        print(format_fig9(run_fig9(duration_minutes=int(args.duration or 30))))
+    else:
+        print(f"unknown experiment {args.name!r}; choose from table1, fig3..fig9", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LaSS reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    size = sub.add_parser("size", help="container sizing from the queueing models")
+    size.add_argument("--rate", type=float, required=True, help="arrival rate (req/s)")
+    size.add_argument("--service-time", type=float, required=True,
+                      help="mean service time of a standard container (s)")
+    size.add_argument("--slo", type=float, default=0.1, help="SLO deadline (s)")
+    size.add_argument("--percentile", type=float, default=0.95, help="SLO percentile")
+    size.add_argument("--scv", type=float, default=1.0,
+                      help="squared coefficient of variation for the M/G/c model")
+    size.set_defaults(func=_cmd_size)
+
+    functions = sub.add_parser("functions", help="list the Table 1 function catalogue")
+    functions.set_defaults(func=_cmd_functions)
+
+    simulate = sub.add_parser("simulate", help="simulate one function under LaSS")
+    simulate.add_argument("--function", default="squeezenet")
+    simulate.add_argument("--rate", type=float, default=20.0)
+    simulate.add_argument("--slo", type=float, default=0.1)
+    simulate.add_argument("--duration", type=float, default=300.0)
+    simulate.add_argument("--nodes", type=int, default=3)
+    simulate.add_argument("--cpu-per-node", type=float, default=4.0)
+    simulate.add_argument("--reclamation", choices=["termination", "deflation"],
+                          default="deflation")
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("name", help="table1, fig3, fig4, fig5, fig6, fig7, fig8, fig9")
+    experiment.add_argument("--duration", type=float, default=None,
+                            help="override the experiment's duration parameter")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,305 @@
+"""Container model: lifecycle, FCFS execution, and in-place CPU deflation.
+
+A container hosts exactly one serverless function.  Requests dispatched
+to it by the load balancer are served in FCFS order, one at a time (the
+standard OpenWhisk model of one activation per container at a time).
+
+Deflation (paper §4.2) reduces the container's CPU allocation in place.
+The effect on performance is captured by a *speed factor*: a container
+running at ``current_cpu`` executes work at
+``speed = deflation_response(current_cpu / standard_cpu)`` relative to a
+standard-sized container.  The response curve comes from the function
+profile (:mod:`repro.workloads.functions`) and reproduces Figure 7 of
+the paper: small deflations are nearly free, large deflations slow the
+function roughly linearly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from typing import Callable, Deque, List, Optional, TYPE_CHECKING
+
+from repro.sim.request import Request, RequestStatus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.engine import SimulationEngine
+
+_container_counter = itertools.count()
+
+
+class ContainerState(enum.Enum):
+    """Lifecycle states of a container."""
+
+    STARTING = "starting"      #: created; paying the cold-start latency
+    WARM = "warm"              #: ready to execute requests
+    DRAINING = "draining"      #: marked for lazy termination; finishes queued work
+    TERMINATED = "terminated"  #: gone; resources released
+
+
+class ContainerError(RuntimeError):
+    """Raised on invalid container operations (e.g. running work on a terminated container)."""
+
+
+class Container:
+    """A single function container.
+
+    Parameters
+    ----------
+    function_name:
+        Name of the hosted function.
+    node_name:
+        The worker node this container lives on.
+    standard_cpu:
+        The CPU allocation (in vCPUs) of a *standard-sized* container of
+        this function (Table 1 of the paper).
+    memory_mb:
+        Memory allocation in MB.  Memory is never deflated (§5: only CPU
+        deflation is implemented because shrinking memory can kill the
+        container).
+    speed_of_cpu:
+        Callable mapping a CPU *fraction* of the standard size (e.g. 0.7
+        after 30 % deflation) to a relative execution speed in (0, 1].
+        Defaults to proportional scaling.
+    created_at:
+        Simulation time of creation.
+    """
+
+    def __init__(
+        self,
+        function_name: str,
+        node_name: str,
+        standard_cpu: float,
+        memory_mb: float,
+        speed_of_cpu: Optional[Callable[[float], float]] = None,
+        created_at: float = 0.0,
+        container_id: Optional[str] = None,
+    ) -> None:
+        if standard_cpu <= 0:
+            raise ValueError("standard_cpu must be positive")
+        if memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        self.container_id = container_id or f"c{next(_container_counter)}"
+        self.function_name = function_name
+        self.node_name = node_name
+        self.standard_cpu = float(standard_cpu)
+        self.current_cpu = float(standard_cpu)
+        self.memory_mb = float(memory_mb)
+        self.created_at = created_at
+        self.warm_since: Optional[float] = None
+        self.state = ContainerState.STARTING
+        self._speed_of_cpu = speed_of_cpu or (lambda fraction: fraction)
+
+        self._queue: Deque[Request] = deque()
+        self._current: Optional[Request] = None
+        self._completion_event = None
+        self.completed_requests = 0
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Capacity / speed
+    # ------------------------------------------------------------------
+    @property
+    def cpu_fraction(self) -> float:
+        """Current CPU allocation as a fraction of the standard size."""
+        return self.current_cpu / self.standard_cpu
+
+    @property
+    def deflation_ratio(self) -> float:
+        """Fraction of the standard CPU allocation that has been reclaimed."""
+        return 1.0 - self.cpu_fraction
+
+    @property
+    def speed(self) -> float:
+        """Relative execution speed (1.0 = standard container)."""
+        return max(1e-9, float(self._speed_of_cpu(self.cpu_fraction)))
+
+    @property
+    def effective_service_rate_scale(self) -> float:
+        """Multiplier to apply to the function's standard service rate μ."""
+        return self.speed
+
+    @property
+    def is_available(self) -> bool:
+        """Whether the load balancer may dispatch new requests to this container."""
+        return self.state == ContainerState.WARM
+
+    @property
+    def is_idle(self) -> bool:
+        """Warm and with no running or queued request."""
+        return self.state == ContainerState.WARM and self._current is None and not self._queue
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests queued (not counting the one running)."""
+        return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests running plus queued at this container."""
+        return len(self._queue) + (1 if self._current is not None else 0)
+
+    @property
+    def current_request(self) -> Optional[Request]:
+        """The request currently executing, if any."""
+        return self._current
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def mark_warm(self, time: float) -> None:
+        """Finish the cold start; the container can now execute requests."""
+        if self.state != ContainerState.STARTING:
+            raise ContainerError(f"container {self.container_id} is {self.state.value}, cannot warm")
+        self.state = ContainerState.WARM
+        self.warm_since = time
+
+    def mark_draining(self) -> None:
+        """Lazily mark for termination; existing work drains, no new work accepted."""
+        if self.state == ContainerState.TERMINATED:
+            raise ContainerError("container already terminated")
+        self.state = ContainerState.DRAINING
+
+    def unmark_draining(self) -> None:
+        """Rescue a draining container (load rose again before it was reclaimed)."""
+        if self.state != ContainerState.DRAINING:
+            raise ContainerError("container is not draining")
+        self.state = ContainerState.WARM
+
+    def terminate(self, time: float) -> List[Request]:
+        """Terminate immediately.  Returns the requests that were dropped."""
+        dropped: List[Request] = []
+        if self.state == ContainerState.TERMINATED:
+            return dropped
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if self._current is not None:
+            self._current.mark_dropped(time)
+            dropped.append(self._current)
+            self._current = None
+        while self._queue:
+            request = self._queue.popleft()
+            request.mark_dropped(time)
+            dropped.append(request)
+        if self._busy_since is not None:
+            self.busy_time += time - self._busy_since
+            self._busy_since = None
+        self.state = ContainerState.TERMINATED
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Deflation
+    # ------------------------------------------------------------------
+    def deflate_to(self, cpu: float) -> float:
+        """Set the CPU allocation to ``cpu`` vCPUs (clamped to (0, standard]).
+
+        Returns the amount of CPU released (negative if inflating).
+        """
+        if self.state == ContainerState.TERMINATED:
+            raise ContainerError("cannot resize a terminated container")
+        new_cpu = min(self.standard_cpu, max(1e-6, float(cpu)))
+        released = self.current_cpu - new_cpu
+        self.current_cpu = new_cpu
+        return released
+
+    def deflate_by(self, ratio: float) -> float:
+        """Deflate by ``ratio`` of the *standard* size (e.g. 0.3 removes 30 %)."""
+        if not 0.0 <= ratio < 1.0:
+            raise ValueError("deflation ratio must be in [0, 1)")
+        return self.deflate_to(self.standard_cpu * (1.0 - ratio))
+
+    def inflate(self) -> float:
+        """Restore the standard CPU allocation.  Returns the extra CPU consumed."""
+        return -self.deflate_to(self.standard_cpu)
+
+    # ------------------------------------------------------------------
+    # Execution (FCFS, one request at a time)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: Request,
+        engine: "SimulationEngine",
+        on_complete: Optional[Callable[[Request, "Container"], None]] = None,
+    ) -> None:
+        """Accept a request for execution.
+
+        The request starts immediately if the container is idle, otherwise
+        it joins the FCFS queue.  Requests may arrive either fresh
+        (``PENDING``) or having already waited in a controller-level shared
+        queue (``QUEUED``).
+        """
+        if self.state not in (ContainerState.WARM, ContainerState.STARTING, ContainerState.DRAINING):
+            raise ContainerError(
+                f"cannot submit to container {self.container_id} in state {self.state.value}"
+            )
+        if request.status is RequestStatus.PENDING:
+            request.mark_queued()
+        elif request.status is not RequestStatus.QUEUED:
+            raise ContainerError(
+                f"cannot submit request in state {request.status.value} to {self.container_id}"
+            )
+        self._queue.append(request)
+        if self.state == ContainerState.WARM:
+            self._try_start_next(engine, on_complete)
+
+    def on_warm_start(
+        self,
+        engine: "SimulationEngine",
+        on_complete: Optional[Callable[[Request, "Container"], None]] = None,
+    ) -> None:
+        """Kick the execution loop once the cold start finishes."""
+        self._try_start_next(engine, on_complete)
+
+    def _try_start_next(
+        self,
+        engine: "SimulationEngine",
+        on_complete: Optional[Callable[[Request, "Container"], None]],
+    ) -> None:
+        if self._current is not None or not self._queue:
+            return
+        request = self._queue.popleft()
+        self._current = request
+        cold = self.warm_since is not None and self.completed_requests == 0 and engine.now == self.warm_since
+        request.mark_running(engine.now, self.container_id, self.node_name, cold_start=cold)
+        duration = max(1e-9, request.work / self.speed)
+        self._busy_since = engine.now
+        self._completion_event = engine.schedule(
+            duration, self._finish_current, engine, on_complete
+        )
+
+    def _finish_current(
+        self,
+        engine: "SimulationEngine",
+        on_complete: Optional[Callable[[Request, "Container"], None]],
+    ) -> None:
+        request = self._current
+        if request is None:  # pragma: no cover - defensive
+            return
+        request.mark_completed(engine.now)
+        self.completed_requests += 1
+        if self._busy_since is not None:
+            self.busy_time += engine.now - self._busy_since
+            self._busy_since = None
+        self._current = None
+        self._completion_event = None
+        if on_complete is not None:
+            on_complete(request, self)
+        if self.state in (ContainerState.WARM, ContainerState.DRAINING):
+            self._try_start_next(engine, on_complete)
+
+    def utilization(self, now: float) -> float:
+        """Fraction of this container's lifetime spent executing requests."""
+        lifetime = max(1e-12, now - self.created_at)
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += now - self._busy_since
+        return min(1.0, busy / lifetime)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Container({self.container_id}, fn={self.function_name!r}, node={self.node_name!r}, "
+            f"cpu={self.current_cpu:.2f}/{self.standard_cpu:.2f}, state={self.state.value})"
+        )

@@ -1,0 +1,164 @@
+"""Simplified invoker: the per-node agent that executes controller commands.
+
+In the LaSS prototype (§5, Figure 2b) the invoker "no longer makes any
+decisions on scheduling or container operation, it only executes
+commands from the controller".  This module models exactly that: a thin
+command executor with a small actuation latency, plus a command log so
+experiments can count container create/terminate/resize operations
+(Figure 9's discussion of operation churn under the two reclamation
+policies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import EdgeCluster
+from repro.cluster.container import Container
+from repro.sim.engine import SimulationEngine
+
+
+class InvokerCommand(enum.Enum):
+    """Commands the controller can send to an invoker."""
+
+    CREATE = "create"
+    TERMINATE = "terminate"
+    RESIZE = "resize"
+
+
+@dataclass
+class CommandRecord:
+    """One executed command, for churn accounting."""
+
+    time: float
+    node: str
+    command: InvokerCommand
+    function_name: str
+    container_id: Optional[str] = None
+    cpu: Optional[float] = None
+
+
+@dataclass
+class Invoker:
+    """Command executor bound to one node of the cluster.
+
+    Parameters
+    ----------
+    node_name:
+        The node this invoker manages.
+    cluster:
+        The shared cluster state (the invoker acts through it so that the
+        accounting stays in one place).
+    actuation_latency:
+        Extra latency added to every command, modelling the control-plane
+        round trip between the controller and the invoker.
+    """
+
+    node_name: str
+    cluster: EdgeCluster
+    actuation_latency: float = 0.0
+    log: List[CommandRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Command execution
+    # ------------------------------------------------------------------
+    def create_container(self, function_name: str, cpu: Optional[float] = None) -> Container:
+        """Create a container of ``function_name`` on this invoker's node."""
+        node = self.cluster.node(self.node_name)
+        if node is None:
+            raise KeyError(f"unknown node {self.node_name!r}")
+        container = self.cluster.create_container(function_name, node=node, cpu=cpu)
+        self.log.append(
+            CommandRecord(
+                time=self.cluster.engine.now,
+                node=self.node_name,
+                command=InvokerCommand.CREATE,
+                function_name=function_name,
+                container_id=container.container_id,
+                cpu=container.current_cpu,
+            )
+        )
+        return container
+
+    def terminate_container(self, container_id: str) -> List:
+        """Terminate a container on this invoker's node.
+
+        Returns the requests that were dropped (queued or running on the
+        container at the moment of termination).
+        """
+        container = self.cluster.get_container(container_id)
+        function_name = container.function_name if container else "<unknown>"
+        dropped = self.cluster.terminate_container(container_id)
+        self.log.append(
+            CommandRecord(
+                time=self.cluster.engine.now,
+                node=self.node_name,
+                command=InvokerCommand.TERMINATE,
+                function_name=function_name,
+                container_id=container_id,
+            )
+        )
+        return dropped
+
+    def resize_container(self, container_id: str, cpu: float) -> float:
+        """Resize (deflate or inflate) a container in place."""
+        released = self.cluster.deflate_container(container_id, cpu)
+        container = self.cluster.get_container(container_id)
+        self.log.append(
+            CommandRecord(
+                time=self.cluster.engine.now,
+                node=self.node_name,
+                command=InvokerCommand.RESIZE,
+                function_name=container.function_name if container else "<unknown>",
+                container_id=container_id,
+                cpu=cpu,
+            )
+        )
+        return released
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def command_counts(self) -> Dict[InvokerCommand, int]:
+        """Number of executed commands per type."""
+        counts: Dict[InvokerCommand, int] = {cmd: 0 for cmd in InvokerCommand}
+        for record in self.log:
+            counts[record.command] += 1
+        return counts
+
+
+class InvokerPool:
+    """One invoker per node, addressed by node name.
+
+    The controller uses the pool to route actuation to the right node and
+    to aggregate churn statistics across the cluster.
+    """
+
+    def __init__(self, cluster: EdgeCluster, actuation_latency: float = 0.0) -> None:
+        self.cluster = cluster
+        self.invokers: Dict[str, Invoker] = {
+            node.name: Invoker(node.name, cluster, actuation_latency) for node in cluster.nodes
+        }
+
+    def __getitem__(self, node_name: str) -> Invoker:
+        return self.invokers[node_name]
+
+    def invoker_for_container(self, container_id: str) -> Optional[Invoker]:
+        """Find the invoker managing the node a container lives on."""
+        container = self.cluster.get_container(container_id)
+        if container is None:
+            return None
+        return self.invokers.get(container.node_name)
+
+    def total_command_counts(self) -> Dict[InvokerCommand, int]:
+        """Cluster-wide command counts (create / terminate / resize)."""
+        totals: Dict[InvokerCommand, int] = {cmd: 0 for cmd in InvokerCommand}
+        for invoker in self.invokers.values():
+            for command, count in invoker.command_counts().items():
+                totals[command] += count
+        return totals
+
+
+__all__ = ["Invoker", "InvokerPool", "InvokerCommand", "CommandRecord"]

@@ -1,0 +1,151 @@
+"""Worker node model: CPU / memory accounting for hosted containers.
+
+The paper's testbed is three nodes with 4 cores and 16 GB each.  A
+:class:`Node` enforces that the sum of its containers' *current* CPU
+allocations and memory allocations never exceeds its capacity, and
+exposes the utilisation numbers reported in the evaluation (allocated
+vs. total capacity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.cluster.container import Container, ContainerState
+
+
+class InsufficientCapacityError(RuntimeError):
+    """Raised when a node cannot host a requested container allocation."""
+
+
+class Node:
+    """A single edge worker node.
+
+    Parameters
+    ----------
+    name:
+        Unique node identifier.
+    cpu_capacity:
+        Total vCPUs available for function containers.
+    memory_capacity_mb:
+        Total memory in MB available for function containers.
+    """
+
+    def __init__(self, name: str, cpu_capacity: float, memory_capacity_mb: float) -> None:
+        if cpu_capacity <= 0 or memory_capacity_mb <= 0:
+            raise ValueError("node capacities must be positive")
+        self.name = name
+        self.cpu_capacity = float(cpu_capacity)
+        self.memory_capacity_mb = float(memory_capacity_mb)
+        self._containers: Dict[str, Container] = {}
+        #: Set true by the vanilla-OpenWhisk baseline when the node is
+        #: overcommitted on CPU and stops responding (cascading failure, §6.6).
+        self.unresponsive = False
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+    @property
+    def containers(self) -> List[Container]:
+        """Live (non-terminated) containers hosted on this node."""
+        return [c for c in self._containers.values() if c.state != ContainerState.TERMINATED]
+
+    @property
+    def cpu_allocated(self) -> float:
+        """Sum of the *current* (possibly deflated) CPU allocations."""
+        return sum(c.current_cpu for c in self.containers)
+
+    @property
+    def memory_allocated_mb(self) -> float:
+        """Sum of memory allocations of live containers."""
+        return sum(c.memory_mb for c in self.containers)
+
+    @property
+    def cpu_free(self) -> float:
+        """Unallocated CPU."""
+        return self.cpu_capacity - self.cpu_allocated
+
+    @property
+    def memory_free_mb(self) -> float:
+        """Unallocated memory."""
+        return self.memory_capacity_mb - self.memory_allocated_mb
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of node CPU currently allocated to containers."""
+        return self.cpu_allocated / self.cpu_capacity
+
+    @property
+    def cpu_overcommitted(self) -> bool:
+        """Whether allocated CPU exceeds capacity (only possible for baselines
+        that ignore CPU when packing, such as vanilla OpenWhisk)."""
+        return self.cpu_allocated > self.cpu_capacity + 1e-9
+
+    def can_fit(self, cpu: float, memory_mb: float) -> bool:
+        """Whether a container of the given size fits in the free capacity."""
+        return cpu <= self.cpu_free + 1e-9 and memory_mb <= self.memory_free_mb + 1e-9
+
+    # ------------------------------------------------------------------
+    # Container management
+    # ------------------------------------------------------------------
+    def add_container(self, container: Container, enforce_cpu: bool = True) -> None:
+        """Host ``container`` on this node.
+
+        Parameters
+        ----------
+        enforce_cpu:
+            If true (LaSS behaviour), reject the container when its CPU does
+            not fit.  The vanilla-OpenWhisk baseline packs on memory only and
+            passes ``False``, which is exactly the behaviour that leads to
+            the cascading failures reported in §6.6.
+        """
+        if container.container_id in self._containers:
+            raise ValueError(f"container {container.container_id} already on node {self.name}")
+        if container.memory_mb > self.memory_free_mb + 1e-9:
+            raise InsufficientCapacityError(
+                f"node {self.name}: not enough memory for {container.container_id} "
+                f"(need {container.memory_mb} MB, free {self.memory_free_mb:.1f} MB)"
+            )
+        if enforce_cpu and container.current_cpu > self.cpu_free + 1e-9:
+            raise InsufficientCapacityError(
+                f"node {self.name}: not enough CPU for {container.container_id} "
+                f"(need {container.current_cpu}, free {self.cpu_free:.2f})"
+            )
+        container.node_name = self.name
+        self._containers[container.container_id] = container
+
+    def remove_container(self, container_id: str) -> Optional[Container]:
+        """Forget a container (after termination); returns it if present."""
+        return self._containers.pop(container_id, None)
+
+    def get_container(self, container_id: str) -> Optional[Container]:
+        """Look up a hosted container by id."""
+        return self._containers.get(container_id)
+
+    def containers_of(self, function_name: str) -> List[Container]:
+        """Live containers of a given function on this node."""
+        return [c for c in self.containers if c.function_name == function_name]
+
+    def room_for(self, cpu: float, memory_mb: float) -> int:
+        """How many containers of the given size still fit on this node."""
+        if cpu <= 0 and memory_mb <= 0:
+            return 0
+        by_cpu = int(self.cpu_free / cpu + 1e-9) if cpu > 0 else 10**9
+        by_mem = int(self.memory_free_mb / memory_mb + 1e-9) if memory_mb > 0 else 10**9
+        return max(0, min(by_cpu, by_mem))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Node({self.name!r}, cpu={self.cpu_allocated:.2f}/{self.cpu_capacity:.2f}, "
+            f"mem={self.memory_allocated_mb:.0f}/{self.memory_capacity_mb:.0f} MB, "
+            f"containers={len(self.containers)})"
+        )
+
+
+def total_capacity(nodes: Iterable[Node]) -> Dict[str, float]:
+    """Aggregate CPU/memory capacity over a set of nodes."""
+    nodes = list(nodes)
+    return {
+        "cpu": sum(n.cpu_capacity for n in nodes),
+        "memory_mb": sum(n.memory_capacity_mb for n in nodes),
+    }

@@ -1,0 +1,25 @@
+"""LaSS core: the paper's primary contribution.
+
+Sub-packages
+------------
+``queueing``
+    M/M/c steady-state analysis, waiting-time percentile bounds, the
+    heterogeneous-container upper bounds of Alves et al., and the
+    iterative container-sizing procedure (Algorithm 1).
+``estimation``
+    Arrival-rate estimation (EWMA + dual sliding windows with burst
+    detection) and service-time knowledge (offline profiles and online
+    learning).
+``allocation``
+    The container allocation algorithm (§3.3), weighted fair-share
+    allocation under overload (§4.1), the termination and deflation
+    reclamation policies (§4.2), container placement, and the two-level
+    user → function scheduling hierarchy.
+``controller``
+    The epoch loop tying everything together, equivalent to the LaSS
+    module added to the OpenWhisk controller in the prototype (§5).
+"""
+
+from repro.core.controller import LassController, ControllerConfig, ReclamationPolicy
+
+__all__ = ["LassController", "ControllerConfig", "ReclamationPolicy"]

@@ -1,0 +1,579 @@
+"""The LaSS controller: the epoch loop that ties the whole system together.
+
+This module plays the role of the "LaSS module" the paper adds to the
+OpenWhisk controller (§5, Figure 2b).  It owns:
+
+* the data path — every arriving request is recorded for rate
+  estimation and dispatched straight to a container by weighted round
+  robin;
+* the control path — once per epoch it estimates each function's
+  arrival rate, runs the queueing models to get the desired container
+  count ``c_new``, detects overload, applies weighted fair sharing, and
+  executes the resulting scaling / reclamation actions through the
+  per-node invokers.
+
+In the absence of resource pressure, over-provisioned functions are
+scaled down *lazily* (containers are only marked for termination and
+reclaimed when some other function actually needs the capacity), and
+under-provisioned ones get new standard-size containers.  Under
+overload, the configured reclamation policy (termination or deflation)
+produces an immediate action plan.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import EdgeCluster, FunctionDeployment
+from repro.cluster.container import Container, ContainerState
+from repro.cluster.invoker import InvokerPool
+from repro.core.allocation.autoscaler import Autoscaler, ScalingDecision
+from repro.core.allocation.hierarchy import SchedulingTree
+from repro.core.allocation.placement import PlacementRequest, plan_placements
+from repro.core.dispatch import SharedQueueDispatcher
+from repro.core.allocation.reclamation import (
+    CreateAction,
+    DeflateAction,
+    DeflationPolicy,
+    InflateAction,
+    ReclamationPlan,
+    TerminateAction,
+    TerminationPolicy,
+)
+from repro.core.estimation.ewma import EwmaEstimator
+from repro.core.estimation.service_time import OnlineServiceTimeEstimator, ServiceTimeProfile
+from repro.core.estimation.sliding_window import DualWindowRateEstimator
+from repro.metrics.collector import EpochSnapshot, FunctionEpochStats, MetricsCollector
+from repro.sim.engine import SimulationEngine
+from repro.sim.request import Request
+
+
+class ReclamationPolicy(enum.Enum):
+    """Which reclamation mechanism the controller uses under overload (§4.2)."""
+
+    TERMINATION = "termination"
+    DEFLATION = "deflation"
+
+
+@dataclass
+class ControllerConfig:
+    """Tunable parameters of the LaSS controller.
+
+    Defaults follow the paper's prototype: epochs of ten seconds, rate
+    estimation from a 2-minute long window and a 10-second short window
+    sampled every 5 seconds with a 2× burst switch, a 95th-percentile
+    SLO, EWMA smoothing biased towards the most recent epoch, and a
+    conservative 30 % deflation threshold.
+    """
+
+    epoch_length: float = 10.0
+    rate_sample_interval: float = 5.0
+    long_window: float = 120.0
+    short_window: float = 10.0
+    burst_factor: float = 2.0
+    ewma_alpha: float = 0.7
+    percentile: float = 0.95
+    reclamation: ReclamationPolicy = ReclamationPolicy.DEFLATION
+    deflation_threshold: float = 0.3
+    deflation_increment: float = 0.05
+    lazy_termination: bool = True
+    placement_strategy: str = "best_fit"
+    use_fast_sizing: bool = True
+    subtract_service_percentile: bool = False
+    #: learn service times online from completed requests (otherwise only
+    #: offline profiles / deployment defaults are used)
+    online_learning: bool = True
+
+    def __post_init__(self) -> None:
+        if self.epoch_length <= 0:
+            raise ValueError("epoch_length must be positive")
+        if self.rate_sample_interval <= 0:
+            raise ValueError("rate_sample_interval must be positive")
+        if not 0 < self.percentile < 1:
+            raise ValueError("percentile must be in (0, 1)")
+
+
+@dataclass
+class _FunctionState:
+    """The controller's per-function bookkeeping."""
+
+    deployment: FunctionDeployment
+    rate_estimator: DualWindowRateEstimator
+    ewma: EwmaEstimator
+    online_service: OnlineServiceTimeEstimator
+    profile: Optional[ServiceTimeProfile] = None
+    default_service_rate: float = 10.0
+    last_decision: Optional[ScalingDecision] = None
+    arrivals_this_epoch: int = 0
+
+
+class LassController:
+    """The LaSS control plane for one edge cluster.
+
+    Parameters
+    ----------
+    engine:
+        Shared simulation engine.
+    cluster:
+        The cluster whose containers this controller manages.
+    config:
+        Controller parameters.
+    scheduling_tree:
+        Optional user → function hierarchy for fair sharing; when omitted
+        a flat tree is built from the deployments' weights.
+    metrics:
+        Optional metrics collector (one is created if omitted).
+    service_profiles:
+        Optional offline service-time profiles, keyed by function name.
+    default_service_rates:
+        Fallback μ per function (req/s on a standard container) used before
+        any profile or online observation is available.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cluster: EdgeCluster,
+        config: Optional[ControllerConfig] = None,
+        scheduling_tree: Optional[SchedulingTree] = None,
+        metrics: Optional[MetricsCollector] = None,
+        service_profiles: Optional[Dict[str, ServiceTimeProfile]] = None,
+        default_service_rates: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        self.config = config or ControllerConfig()
+        self.metrics = metrics or MetricsCollector()
+        self.dispatcher = SharedQueueDispatcher(engine, on_complete=self._record_completion)
+        self.balancer = self.dispatcher.balancer
+        self.invokers = InvokerPool(cluster)
+        self.autoscaler = Autoscaler(
+            percentile=self.config.percentile,
+            use_fast_sizing=self.config.use_fast_sizing,
+            subtract_service_percentile=self.config.subtract_service_percentile,
+        )
+        self._tree = scheduling_tree
+        self._functions: Dict[str, _FunctionState] = {}
+        self._started = False
+        self._epoch_count = 0
+
+        service_profiles = service_profiles or {}
+        default_service_rates = default_service_rates or {}
+        for deployment in cluster.deployments:
+            self.register_function(
+                deployment,
+                profile=service_profiles.get(deployment.name),
+                default_service_rate=default_service_rates.get(deployment.name, 10.0),
+            )
+        cluster.on_container_warm(self._on_container_warm)
+
+    # ------------------------------------------------------------------
+    # Registration / lifecycle
+    # ------------------------------------------------------------------
+    def register_function(
+        self,
+        deployment: FunctionDeployment,
+        profile: Optional[ServiceTimeProfile] = None,
+        default_service_rate: float = 10.0,
+    ) -> None:
+        """Register a deployed function with the controller."""
+        if deployment.name in self._functions:
+            return
+        self._functions[deployment.name] = _FunctionState(
+            deployment=deployment,
+            rate_estimator=DualWindowRateEstimator(
+                self.config.long_window, self.config.short_window, self.config.burst_factor
+            ),
+            ewma=EwmaEstimator(self.config.ewma_alpha),
+            online_service=OnlineServiceTimeEstimator(),
+            profile=profile,
+            default_service_rate=default_service_rate,
+        )
+
+    def start(self) -> None:
+        """Begin the periodic epoch loop and the faster rate-sampling loop."""
+        if self._started:
+            return
+        self._started = True
+        self.engine.schedule(
+            self.config.epoch_length, self._epoch_tick, priority=SimulationEngine.PRIORITY_CONTROL
+        )
+        if self.config.rate_sample_interval < self.config.epoch_length:
+            self.engine.schedule(
+                self.config.rate_sample_interval,
+                self._rate_tick,
+                priority=SimulationEngine.PRIORITY_CONTROL,
+            )
+
+    @property
+    def scheduling_tree(self) -> SchedulingTree:
+        """The fair-share hierarchy (built flat from weights if not supplied)."""
+        if self._tree is None:
+            users: Dict[str, float] = {}
+            functions: Dict[str, str] = {}
+            weights: Dict[str, float] = {}
+            for state in self._functions.values():
+                dep = state.deployment
+                users.setdefault(dep.user, 1.0)
+                functions[dep.name] = dep.user
+                weights[dep.name] = dep.weight
+            if len(users) <= 1:
+                self._tree = SchedulingTree.flat(weights)
+            else:
+                self._tree = SchedulingTree.two_level(users, functions, weights)
+        return self._tree
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Request) -> None:
+        """Handle one arriving invocation request (the data path).
+
+        The arrival is recorded for rate estimation and the request is
+        handed to the shared-queue dispatcher: it starts immediately on an
+        idle container (chosen by weighted round robin, so deflated
+        containers take proportionally less of the load) or waits in the
+        function's FCFS queue until a container frees up or warms up.
+        """
+        state = self._state(request.function_name)
+        state.rate_estimator.record_arrival(request.arrival_time)
+        state.arrivals_this_epoch += 1
+        self.metrics.record_request(request)
+
+        containers = self.cluster.warm_containers_of(request.function_name)
+        started = self.dispatcher.submit(request, containers)
+        if not started and not self.cluster.containers_of(request.function_name):
+            # nothing exists yet for this function: get one container started
+            self._create_containers(request.function_name, 1)
+
+    def _on_container_warm(self, container: Container) -> None:
+        if container.function_name not in self._functions:
+            return
+        self.dispatcher.drain(
+            container.function_name,
+            self.cluster.warm_containers_of(container.function_name),
+        )
+
+    def _record_completion(self, request: Request, container: Container) -> None:
+        self.metrics.record_completion(request)
+        if self.config.online_learning and request.service_time is not None:
+            state = self._functions.get(request.function_name)
+            if state is not None:
+                state.online_service.observe(container.cpu_fraction, request.service_time)
+
+    # ------------------------------------------------------------------
+    # Control path
+    # ------------------------------------------------------------------
+    def _epoch_tick(self) -> None:
+        self.run_epoch()
+        self.engine.schedule(
+            self.config.epoch_length, self._epoch_tick, priority=SimulationEngine.PRIORITY_CONTROL
+        )
+
+    def _rate_tick(self) -> None:
+        """The fast (5-second) sampling loop: react to bursts between epochs.
+
+        The paper's headline responsiveness numbers — container
+        reprovisioning within tens to hundreds of milliseconds of a load
+        spike — come from sampling the arrival-rate windows every few
+        seconds and scaling *up* immediately when the short window detects
+        a burst or when the current allocation cannot even keep the queue
+        stable.  Scaling down and fair-share arbitration stay on the
+        slower epoch cadence.
+        """
+        now = self.engine.now
+        for name, state in self._functions.items():
+            observation = state.rate_estimator.estimate(now)
+            if observation.rate <= 0:
+                continue
+            current = self.cluster.containers_of(name, include_draining=False)
+            service_rate = self._service_rate(state, cpu_fraction=1.0)
+            min_stable = self.autoscaler.minimum_stable_containers(observation.rate, service_rate)
+            needs_reaction = observation.burst_detected or len(current) < min_stable
+            if not needs_reaction:
+                continue
+            if observation.burst_detected:
+                self.metrics.increment("burst_switches")
+            decision = self.autoscaler.desired_containers(
+                function_name=name,
+                arrival_rate=observation.rate,
+                service_rate=service_rate,
+                slo_deadline=state.deployment.slo_deadline or 1.0,
+                current_containers=len(current),
+                min_containers=state.deployment.min_containers,
+            )
+            if decision.desired_containers > len(current):
+                self._scale_up(name, decision.desired_containers - len(current))
+                self.metrics.increment("reactive_scale_ups")
+        self._drain_all_queues()
+        self.engine.schedule(
+            self.config.rate_sample_interval,
+            self._rate_tick,
+            priority=SimulationEngine.PRIORITY_CONTROL,
+        )
+
+    def run_epoch(self) -> EpochSnapshot:
+        """Run one control epoch and return the snapshot that was recorded."""
+        self._epoch_count += 1
+        now = self.engine.now
+
+        decisions: Dict[str, ScalingDecision] = {}
+        demands_cpu: Dict[str, float] = {}
+        for name, state in self._functions.items():
+            decision = self._decide(name, state, now)
+            decisions[name] = decision
+            state.last_decision = decision
+            demands_cpu[name] = decision.desired_containers * state.deployment.cpu
+            state.arrivals_this_epoch = 0
+
+        total_cpu = self.cluster.total_cpu
+        overloaded = sum(demands_cpu.values()) > total_cpu + 1e-9
+
+        if overloaded:
+            targets = self.scheduling_tree.allocate(demands_cpu, total_cpu)
+            self._apply_overload_plan(targets, decisions)
+        else:
+            self._apply_normal_scaling(decisions)
+
+        # any queued work that can start on the (possibly changed) container
+        # set should start now rather than wait for the next completion
+        self._drain_all_queues()
+
+        snapshot = self._snapshot(now, overloaded, decisions)
+        self.metrics.record_epoch(snapshot)
+        return snapshot
+
+    def _drain_all_queues(self) -> None:
+        for name in self._functions:
+            if self.dispatcher.queue_length(name):
+                self.dispatcher.drain(name, self.cluster.warm_containers_of(name))
+
+    # -- model-driven decision per function ----------------------------
+    def _decide(self, name: str, state: _FunctionState, now: float) -> ScalingDecision:
+        observation = state.rate_estimator.estimate(now)
+        if observation.burst_detected:
+            self.metrics.increment("burst_switches")
+        smoothed = state.ewma.update(observation.rate)
+
+        service_rate = self._service_rate(state, cpu_fraction=1.0)
+        current = self.cluster.containers_of(name, include_draining=False)
+        existing_rates = [service_rate * c.speed for c in current]
+        heterogeneous = current and any(c.cpu_fraction < 1.0 - 1e-9 for c in current)
+
+        service_percentile = None
+        if self.config.subtract_service_percentile:
+            service_percentile = self._service_time_percentile(state)
+
+        return self.autoscaler.desired_containers(
+            function_name=name,
+            arrival_rate=smoothed,
+            service_rate=service_rate,
+            slo_deadline=state.deployment.slo_deadline or 1.0,
+            current_containers=len(current),
+            existing_service_rates=existing_rates if heterogeneous else None,
+            service_time_percentile=service_percentile,
+            min_containers=state.deployment.min_containers,
+        )
+
+    def _service_rate(self, state: _FunctionState, cpu_fraction: float) -> float:
+        if self.config.online_learning:
+            learned = state.online_service.service_rate(cpu_fraction)
+            if learned is not None and state.online_service.observations(cpu_fraction) >= 20:
+                return learned
+        if state.profile is not None:
+            return state.profile.service_rate(cpu_fraction)
+        return state.default_service_rate
+
+    def _service_time_percentile(self, state: _FunctionState) -> Optional[float]:
+        if state.profile is not None:
+            return state.profile.percentile(self.config.percentile)
+        if self.config.online_learning:
+            return state.online_service.percentile(self.config.percentile)
+        return None
+
+    # -- no-pressure path (§3.3) ----------------------------------------
+    def _apply_normal_scaling(self, decisions: Dict[str, ScalingDecision]) -> None:
+        # Scale down first (lazily), so freed capacity is visible to scale-ups.
+        for name, decision in decisions.items():
+            if decision.scale_down:
+                self._scale_down(name, -decision.delta)
+        for name, decision in decisions.items():
+            live = self.cluster.containers_of(name, include_draining=False)
+            # re-inflate any deflated containers: there is no pressure
+            for container in live:
+                if container.cpu_fraction < 1.0 - 1e-9:
+                    gained = self.cluster.inflate_container(container.container_id)
+                    if gained > 0:
+                        self.metrics.increment("inflations")
+            needed = decision.desired_containers - len(live)
+            if needed > 0:
+                self._scale_up(name, needed)
+
+    def _scale_down(self, name: str, count: int) -> None:
+        live = self.cluster.containers_of(name, include_draining=False)
+        victims = sorted(live, key=lambda c: (c.current_cpu, c.container_id))[:count]
+        for container in victims:
+            if self.config.lazy_termination:
+                container.mark_draining()
+                self.metrics.increment("lazy_marks")
+            else:
+                self._terminate(container.container_id)
+
+    def _scale_up(self, name: str, count: int) -> None:
+        state = self._state(name)
+        # 1) rescue draining containers of this function first (cheapest)
+        draining = [
+            c for c in self.cluster.containers_of(name)
+            if c.state == ContainerState.DRAINING
+        ]
+        for container in draining:
+            if count <= 0:
+                break
+            container.unmark_draining()
+            self.metrics.increment("lazy_rescues")
+            count -= 1
+        if count <= 0:
+            return
+        # 2) create new containers; if placement fails, reclaim draining
+        #    containers of other functions and retry.
+        created = self._create_containers(name, count)
+        remaining = count - created
+        if remaining > 0:
+            self._reclaim_draining(exclude=name)
+            self._create_containers(name, remaining)
+
+    def _create_containers(self, name: str, count: int) -> int:
+        state = self._state(name)
+        dep = state.deployment
+        requests = [PlacementRequest(name, dep.cpu, dep.memory_mb) for _ in range(count)]
+        plan = plan_placements(self.cluster.nodes, requests, self.config.placement_strategy)
+        created = 0
+        for request, node_name in plan.placements:
+            self.invokers[node_name].create_container(name)
+            self.metrics.increment("creations")
+            created += 1
+        return created
+
+    def _reclaim_draining(self, exclude: Optional[str] = None) -> None:
+        for container in self.cluster.all_containers():
+            if container.state != ContainerState.DRAINING:
+                continue
+            if exclude is not None and container.function_name == exclude:
+                continue
+            self._terminate(container.container_id)
+
+    # -- overload path (§4) ----------------------------------------------
+    def _apply_overload_plan(
+        self, targets_cpu: Dict[str, float], decisions: Dict[str, ScalingDecision]
+    ) -> None:
+        # Under pressure there is no room for lazy termination: draining
+        # containers are real capacity that must be reclaimed immediately.
+        self._reclaim_draining()
+
+        containers_by_function = {
+            name: self.cluster.containers_of(name, include_draining=False)
+            for name in self._functions
+        }
+        standard_cpu = {name: st.deployment.cpu for name, st in self._functions.items()}
+        policy = self._reclamation_policy()
+        plan = policy.plan(
+            containers_by_function=containers_by_function,
+            target_cpu=targets_cpu,
+            standard_cpu=standard_cpu,
+            free_cpu=self.cluster.cpu_free,
+        )
+        self._execute_plan(plan)
+
+    def _reclamation_policy(self):
+        if self.config.reclamation is ReclamationPolicy.TERMINATION:
+            return TerminationPolicy()
+        return DeflationPolicy(
+            threshold=self.config.deflation_threshold,
+            increment=self.config.deflation_increment,
+        )
+
+    def _execute_plan(self, plan: ReclamationPlan) -> None:
+        for action in plan.terminations:
+            self._terminate(action.container_id)
+        for action in plan.deflations:
+            invoker = self.invokers.invoker_for_container(action.container_id)
+            if invoker is not None:
+                invoker.resize_container(action.container_id, action.cpu)
+                self.metrics.increment("deflations")
+        for action in plan.inflations:
+            container = self.cluster.get_container(action.container_id)
+            if container is None:
+                continue
+            node = self.cluster.node(container.node_name)
+            if node is None:
+                continue
+            target = min(action.cpu, container.current_cpu + node.cpu_free)
+            if target > container.current_cpu + 1e-9:
+                invoker = self.invokers.invoker_for_container(action.container_id)
+                if invoker is not None:
+                    invoker.resize_container(action.container_id, target)
+                    self.metrics.increment("inflations")
+        for action in plan.creations:
+            dep = self._state(action.function_name).deployment
+            requests = [PlacementRequest(action.function_name, action.cpu, dep.memory_mb)]
+            placed = plan_placements(self.cluster.nodes, requests, self.config.placement_strategy)
+            for request, node_name in placed.placements:
+                self.invokers[node_name].create_container(action.function_name, cpu=action.cpu)
+                self.metrics.increment("creations")
+
+    def _terminate(self, container_id: str) -> None:
+        container = self.cluster.get_container(container_id)
+        if container is None:
+            return
+        invoker = self.invokers.invoker_for_container(container_id)
+        if invoker is not None:
+            dropped = invoker.terminate_container(container_id)
+        else:
+            dropped = self.cluster.terminate_container(container_id)
+        self.metrics.increment("terminations")
+        self.metrics.record_drop(len(dropped))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _state(self, name: str) -> _FunctionState:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"function {name!r} is not registered with the controller") from None
+
+    def last_decision(self, name: str) -> Optional[ScalingDecision]:
+        """The most recent scaling decision for a function."""
+        return self._state(name).last_decision
+
+    def guaranteed_cpu_shares(self) -> Dict[str, float]:
+        """Per-function guaranteed CPU shares implied by the scheduling tree."""
+        return self.scheduling_tree.guaranteed_shares(self.cluster.total_cpu)
+
+    def _snapshot(
+        self, now: float, overloaded: bool, decisions: Dict[str, ScalingDecision]
+    ) -> EpochSnapshot:
+        functions: Dict[str, FunctionEpochStats] = {}
+        for name, state in self._functions.items():
+            live = self.cluster.containers_of(name, include_draining=False)
+            decision = decisions.get(name)
+            functions[name] = FunctionEpochStats(
+                function_name=name,
+                containers=len(live),
+                cpu=sum(c.current_cpu for c in live),
+                desired_containers=decision.desired_containers if decision else len(live),
+                arrival_rate_estimate=decision.arrival_rate if decision else 0.0,
+                service_rate_estimate=decision.service_rate if decision else 0.0,
+            )
+        return EpochSnapshot(
+            time=now,
+            overloaded=overloaded,
+            total_cpu=self.cluster.total_cpu,
+            allocated_cpu=self.cluster.cpu_allocated,
+            functions=functions,
+        )
+
+
+__all__ = ["LassController", "ControllerConfig", "ReclamationPolicy"]

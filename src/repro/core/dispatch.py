@@ -1,0 +1,132 @@
+"""Shared per-function request queue + idle-container dispatch.
+
+OpenWhisk's controller tracks how many activations are in flight on
+every container and only forwards a new invocation to a container with
+a free slot; excess invocations wait in the controller (Kafka) until a
+slot frees up.  The effect is a *shared FCFS queue per function* in
+front of the function's containers — which is exactly the M/M/c system
+the paper's sizing model assumes (each container is a "queueing
+server").
+
+:class:`SharedQueueDispatcher` reproduces that data path for the
+simulator: requests go to an idle container immediately when one
+exists (chosen by weighted round robin, so larger/faster containers
+take proportionally more of the load when sizes are heterogeneous) and
+otherwise wait in the function's queue; whenever a container finishes a
+request or a new container warms up, the queue is drained.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.cluster.container import Container
+from repro.cluster.loadbalancer import WeightedRoundRobinBalancer
+from repro.sim.engine import SimulationEngine
+from repro.sim.request import Request, RequestStatus
+
+
+class SharedQueueDispatcher:
+    """Per-function shared FCFS queues in front of idle-container dispatch.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine requests execute on.
+    on_complete:
+        Optional callback invoked with ``(request, container)`` after each
+        completion (after the dispatcher's own bookkeeping).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        on_complete: Optional[Callable[[Request, Container], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.balancer = WeightedRoundRobinBalancer()
+        self._queues: Dict[str, Deque[Request]] = {}
+        self._on_complete = on_complete
+
+    # ------------------------------------------------------------------
+    # Queue state
+    # ------------------------------------------------------------------
+    def queue_length(self, function_name: str) -> int:
+        """Requests currently waiting in the function's shared queue."""
+        return len(self._queues.get(function_name, ()))
+
+    def queued_requests(self, function_name: str) -> List[Request]:
+        """The waiting requests of a function (a copy, FCFS order)."""
+        return list(self._queues.get(function_name, ()))
+
+    def total_queued(self) -> int:
+        """Waiting requests across all functions."""
+        return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, containers: Sequence[Container]) -> bool:
+        """Dispatch a new request.
+
+        Returns ``True`` if it started on an idle container immediately,
+        ``False`` if it was queued.
+        """
+        idle = [c for c in containers if c.is_available and c.is_idle]
+        chosen = self.balancer.pick(request.function_name, idle) if idle else None
+        if chosen is None:
+            queue = self._queues.setdefault(request.function_name, deque())
+            request.mark_queued()
+            queue.append(request)
+            return False
+        chosen.submit(request, self.engine, self._completion_hook)
+        return True
+
+    def drain(self, function_name: str, containers: Sequence[Container]) -> int:
+        """Move as many queued requests as possible onto idle containers.
+
+        Returns the number of requests that started executing.
+        """
+        queue = self._queues.get(function_name)
+        if not queue:
+            return 0
+        started = 0
+        idle = [c for c in containers if c.is_available and c.is_idle]
+        while queue and idle:
+            request = queue.popleft()
+            if request.status is not RequestStatus.QUEUED:
+                continue  # dropped while waiting (e.g. container terminated it)
+            chosen = self.balancer.pick(function_name, idle)
+            if chosen is None:  # pragma: no cover - idle is non-empty
+                queue.appendleft(request)
+                break
+            chosen.submit(request, self.engine, self._completion_hook)
+            idle = [c for c in idle if c.is_idle]
+            started += 1
+        return started
+
+    def requeue(self, requests: Sequence[Request]) -> None:
+        """Put dropped-but-unstarted requests back at the head of their queues.
+
+        Used when a container is terminated while holding queued work that
+        should be retried elsewhere.
+        """
+        for request in reversed(list(requests)):
+            if request.status is not RequestStatus.QUEUED:
+                continue
+            self._queues.setdefault(request.function_name, deque()).appendleft(request)
+
+    def _completion_hook(self, request: Request, container: Container) -> None:
+        if self._on_complete is not None:
+            self._on_complete(request, container)
+        # the container just went idle: pull the next queued request onto it
+        queue = self._queues.get(request.function_name)
+        while queue and container.is_available and container.is_idle:
+            next_request = queue.popleft()
+            if next_request.status is not RequestStatus.QUEUED:
+                continue
+            container.submit(next_request, self.engine, self._completion_hook)
+
+
+__all__ = ["SharedQueueDispatcher"]

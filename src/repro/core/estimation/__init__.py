@@ -1,0 +1,32 @@
+"""Workload and service-time estimation (paper §3.3 and §5).
+
+* :mod:`repro.core.estimation.ewma` — exponentially weighted moving
+  average of per-epoch arrival rates, weighted towards the most recent
+  epoch as the paper prescribes.
+* :mod:`repro.core.estimation.sliding_window` — the prototype's
+  Knative-inspired dual-window estimator: a 2-minute long window and a
+  10-second short window sampled every 5 seconds; the short window is
+  used whenever it detects a burst (short-window rate at least twice the
+  long-window rate).
+* :mod:`repro.core.estimation.service_time` — per-function service-time
+  knowledge: offline profiles (mean + percentiles per container size)
+  and an online streaming estimator that learns them from completed
+  requests.
+"""
+
+from repro.core.estimation.ewma import EwmaEstimator
+from repro.core.estimation.sliding_window import DualWindowRateEstimator, SlidingWindowCounter
+from repro.core.estimation.service_time import (
+    OnlineServiceTimeEstimator,
+    ServiceTimeProfile,
+    StreamingQuantile,
+)
+
+__all__ = [
+    "EwmaEstimator",
+    "DualWindowRateEstimator",
+    "SlidingWindowCounter",
+    "ServiceTimeProfile",
+    "OnlineServiceTimeEstimator",
+    "StreamingQuantile",
+]

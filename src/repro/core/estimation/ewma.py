@@ -1,0 +1,74 @@
+"""Exponentially weighted moving average of per-epoch observations.
+
+The paper (§3.3): "The observed request rate in each epoch yields a
+time series of per-epoch observations that is subjected to an
+exponential weighted moving average (EWMA) with a high weight given to
+the most recent epoch."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class EwmaEstimator:
+    """EWMA over a scalar time series.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the most recent observation; the paper uses a "high
+        weight given to the most recent epoch", so the default is 0.7.
+    initial:
+        Optional initial value; if omitted, the first observation seeds
+        the average directly.
+    """
+
+    def __init__(self, alpha: float = 0.7, initial: Optional[float] = None) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+        self._value: Optional[float] = None if initial is None else float(initial)
+        self._history: List[float] = []
+        self._observations = 0
+
+    @property
+    def value(self) -> Optional[float]:
+        """The current smoothed value (``None`` before any observation)."""
+        return self._value
+
+    @property
+    def observations(self) -> int:
+        """Number of observations folded in so far."""
+        return self._observations
+
+    @property
+    def history(self) -> List[float]:
+        """Smoothed value after each observation (a copy)."""
+        return list(self._history)
+
+    def update(self, observation: float) -> float:
+        """Fold in one per-epoch observation and return the new smoothed value."""
+        observation = float(observation)
+        if observation < 0:
+            raise ValueError("observations must be non-negative")
+        if self._value is None:
+            self._value = observation
+        else:
+            self._value = self.alpha * observation + (1.0 - self.alpha) * self._value
+        self._observations += 1
+        self._history.append(self._value)
+        return self._value
+
+    def predict(self) -> float:
+        """The smoothed value, or 0.0 when nothing has been observed yet."""
+        return 0.0 if self._value is None else self._value
+
+    def reset(self, initial: Optional[float] = None) -> None:
+        """Forget all history."""
+        self._value = None if initial is None else float(initial)
+        self._history.clear()
+        self._observations = 0
+
+
+__all__ = ["EwmaEstimator"]

@@ -1,0 +1,245 @@
+"""Service-time knowledge: offline profiles and online learning (paper §5).
+
+"In order to use queueing theory based models to predict the capacity
+needed for a latency sensitive function, the controller needs to know
+the service time distribution.  In the scenario where the deflation
+policy is used, the controller needs to know multiple service time
+distributions under different container sizes.  LaSS supports two
+approaches for this purpose: 1) load offline profiling results ... and
+2) use an online learning algorithm to learn the service time
+distribution(s) over time."
+
+:class:`ServiceTimeProfile` is the offline path: a table of mean service
+times (and a distributional shape) per container size, interpolated for
+intermediate deflation levels.  :class:`OnlineServiceTimeEstimator` is
+the online path: it ingests ``(cpu_fraction, service_time)`` samples
+from completed requests and maintains running means and streaming
+quantiles per CPU bucket.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.queueing.distributions import Exponential, ServiceTimeDistribution
+
+
+@dataclass(frozen=True)
+class ServiceTimeProfile:
+    """Offline service-time profile of one function.
+
+    Parameters
+    ----------
+    function_name:
+        The profiled function.
+    cpu_fractions:
+        Sorted CPU fractions (of the standard container size) at which
+        the function was profiled, e.g. ``(0.3, 0.5, 0.7, 1.0)``.
+    mean_service_times:
+        Mean service time measured at each profiled CPU fraction.
+    distribution:
+        Distribution family of the service time at the standard size;
+        scaled copies are returned for other sizes.
+    """
+
+    function_name: str
+    cpu_fractions: Tuple[float, ...]
+    mean_service_times: Tuple[float, ...]
+    distribution: ServiceTimeDistribution = field(default_factory=lambda: Exponential(0.1))
+
+    def __post_init__(self) -> None:
+        if len(self.cpu_fractions) != len(self.mean_service_times):
+            raise ValueError("cpu_fractions and mean_service_times must have equal length")
+        if len(self.cpu_fractions) == 0:
+            raise ValueError("profile must contain at least one point")
+        if any(f <= 0 or f > 1.0 + 1e-9 for f in self.cpu_fractions):
+            raise ValueError("cpu fractions must be in (0, 1]")
+        if any(s <= 0 for s in self.mean_service_times):
+            raise ValueError("service times must be positive")
+        if list(self.cpu_fractions) != sorted(self.cpu_fractions):
+            raise ValueError("cpu_fractions must be sorted ascending")
+
+    @classmethod
+    def from_speed_curve(
+        cls,
+        function_name: str,
+        standard_mean: float,
+        speed_of_cpu,
+        cpu_fractions: Sequence[float] = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+        distribution: Optional[ServiceTimeDistribution] = None,
+    ) -> "ServiceTimeProfile":
+        """Build a profile from a deflation response curve.
+
+        ``speed_of_cpu(fraction)`` gives relative speed; mean service time
+        at that fraction is ``standard_mean / speed``.
+        """
+        fractions = tuple(sorted(float(f) for f in cpu_fractions))
+        means = tuple(standard_mean / max(1e-9, speed_of_cpu(f)) for f in fractions)
+        dist = distribution or Exponential(standard_mean)
+        return cls(function_name, fractions, means, dist)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def mean_service_time(self, cpu_fraction: float = 1.0) -> float:
+        """Mean service time at a CPU fraction (linear interpolation)."""
+        if cpu_fraction <= 0:
+            raise ValueError("cpu_fraction must be positive")
+        fractions = np.asarray(self.cpu_fractions)
+        means = np.asarray(self.mean_service_times)
+        return float(np.interp(cpu_fraction, fractions, means))
+
+    def service_rate(self, cpu_fraction: float = 1.0) -> float:
+        """Service rate μ at a CPU fraction."""
+        return 1.0 / self.mean_service_time(cpu_fraction)
+
+    def percentile(self, p: float, cpu_fraction: float = 1.0) -> float:
+        """The ``p``-th percentile of the service time at a CPU fraction."""
+        scale = self.mean_service_time(cpu_fraction) / self.distribution.mean
+        return self.distribution.scaled(scale).percentile(p)
+
+    def distribution_at(self, cpu_fraction: float = 1.0) -> ServiceTimeDistribution:
+        """The service-time distribution at a CPU fraction."""
+        scale = self.mean_service_time(cpu_fraction) / self.distribution.mean
+        return self.distribution.scaled(scale)
+
+
+class StreamingQuantile:
+    """A simple reservoir-based streaming quantile estimator.
+
+    Keeps a bounded, sorted sample of observations and answers quantile
+    queries from it.  For the request volumes in these experiments
+    (thousands to hundreds of thousands) the reservoir is effectively
+    exact; the bound exists so that memory stays constant in very long
+    runs.
+    """
+
+    def __init__(self, max_samples: int = 4096, seed: int = 17) -> None:
+        if max_samples < 10:
+            raise ValueError("max_samples must be at least 10")
+        self.max_samples = int(max_samples)
+        self._sorted: List[float] = []
+        self._count = 0
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def count(self) -> int:
+        """Total number of observations seen (not the reservoir size)."""
+        return self._count
+
+    def add(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        if math.isnan(value) or value < 0:
+            raise ValueError("observations must be non-negative numbers")
+        self._count += 1
+        if len(self._sorted) < self.max_samples:
+            bisect.insort(self._sorted, value)
+        else:
+            # reservoir sampling: replace a random element with probability k/n
+            j = self._rng.integers(0, self._count)
+            if j < self.max_samples:
+                self._sorted.pop(int(self._rng.integers(0, len(self._sorted))))
+                bisect.insort(self._sorted, value)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-th quantile of the observations seen so far."""
+        if not 0 < q < 1:
+            raise ValueError("q must be in (0, 1)")
+        if not self._sorted:
+            raise ValueError("no observations yet")
+        return float(np.quantile(self._sorted, q))
+
+    @property
+    def mean(self) -> float:
+        """Mean of the reservoir sample."""
+        if not self._sorted:
+            raise ValueError("no observations yet")
+        return float(np.mean(self._sorted))
+
+
+class OnlineServiceTimeEstimator:
+    """Learns per-CPU-fraction service-time statistics from completed requests.
+
+    Observations are bucketed by CPU fraction (default bucket width 10 %
+    of the standard size) so that deflated and standard containers
+    contribute to separate estimates, which is what the deflation policy
+    needs (§5).
+    """
+
+    def __init__(self, bucket_width: float = 0.1, max_samples_per_bucket: int = 4096) -> None:
+        if not 0 < bucket_width <= 1:
+            raise ValueError("bucket_width must be in (0, 1]")
+        self.bucket_width = float(bucket_width)
+        self.max_samples_per_bucket = int(max_samples_per_bucket)
+        self._buckets: Dict[int, StreamingQuantile] = {}
+        self._totals: Dict[int, Tuple[int, float]] = {}
+
+    def _bucket(self, cpu_fraction: float) -> int:
+        if cpu_fraction <= 0:
+            raise ValueError("cpu_fraction must be positive")
+        return int(round(min(1.0, cpu_fraction) / self.bucket_width))
+
+    def observe(self, cpu_fraction: float, service_time: float) -> None:
+        """Record one completed request's service time at the given CPU fraction."""
+        if service_time < 0:
+            raise ValueError("service_time must be non-negative")
+        key = self._bucket(cpu_fraction)
+        if key not in self._buckets:
+            self._buckets[key] = StreamingQuantile(self.max_samples_per_bucket)
+            self._totals[key] = (0, 0.0)
+        self._buckets[key].add(service_time)
+        count, total = self._totals[key]
+        self._totals[key] = (count + 1, total + service_time)
+
+    def observations(self, cpu_fraction: float = 1.0) -> int:
+        """Number of observations for the bucket containing ``cpu_fraction``."""
+        key = self._bucket(cpu_fraction)
+        return self._totals.get(key, (0, 0.0))[0]
+
+    def mean_service_time(self, cpu_fraction: float = 1.0) -> Optional[float]:
+        """Learned mean service time at a CPU fraction, or ``None`` if unseen.
+
+        Falls back to the nearest observed bucket when the exact bucket
+        has no data (e.g. asking about 70 % CPU when only standard
+        containers have run so far); scales by the CPU ratio under the
+        proportional-slowdown assumption.
+        """
+        key = self._bucket(cpu_fraction)
+        if key in self._totals and self._totals[key][0] > 0:
+            count, total = self._totals[key]
+            return total / count
+        if not self._totals:
+            return None
+        nearest = min(self._totals, key=lambda k: abs(k - key))
+        count, total = self._totals[nearest]
+        if count == 0:
+            return None
+        nearest_fraction = nearest * self.bucket_width
+        observed_mean = total / count
+        return observed_mean * (nearest_fraction / max(1e-9, cpu_fraction))
+
+    def service_rate(self, cpu_fraction: float = 1.0) -> Optional[float]:
+        """Learned service rate μ at a CPU fraction, or ``None`` if unseen."""
+        mean = self.mean_service_time(cpu_fraction)
+        return None if mean is None or mean <= 0 else 1.0 / mean
+
+    def percentile(self, p: float, cpu_fraction: float = 1.0) -> Optional[float]:
+        """Learned percentile of the service time, or ``None`` if unseen."""
+        key = self._bucket(cpu_fraction)
+        bucket = self._buckets.get(key)
+        if bucket is None or bucket.count == 0:
+            mean = self.mean_service_time(cpu_fraction)
+            if mean is None:
+                return None
+            # exponential assumption as a prior when only the mean is known
+            return -mean * math.log(1.0 - p)
+        return bucket.quantile(p)
+
+
+__all__ = ["ServiceTimeProfile", "OnlineServiceTimeEstimator", "StreamingQuantile"]

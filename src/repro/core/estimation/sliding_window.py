@@ -1,0 +1,134 @@
+"""Dual sliding-window arrival-rate estimation with burst detection.
+
+From the paper (§5): "LaSS accomplishes this by monitoring two sliding
+windows every 5 seconds: a 2-minute long window and a 10-second short
+window.  When no burst is detected, the arrival rate is calculated
+using the long window, but when there is a burst, i.e., if the arrival
+rate in the short window is twice as high as the arrival rate in the
+long window, LaSS switches to calculating the arrival rate based on the
+short window."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+
+class SlidingWindowCounter:
+    """Counts events whose timestamps fall within a trailing window."""
+
+    def __init__(self, window_length: float) -> None:
+        if window_length <= 0:
+            raise ValueError("window length must be positive")
+        self.window_length = float(window_length)
+        self._events: Deque[float] = deque()
+
+    def record(self, timestamp: float) -> None:
+        """Record one event at ``timestamp`` (timestamps must be non-decreasing)."""
+        if self._events and timestamp < self._events[-1] - 1e-9:
+            raise ValueError("timestamps must be non-decreasing")
+        self._events.append(float(timestamp))
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_length
+        while self._events and self._events[0] <= cutoff:
+            self._events.popleft()
+
+    def count(self, now: float) -> int:
+        """Number of events in ``(now − window, now]``."""
+        self._evict(now)
+        return len(self._events)
+
+    def rate(self, now: float, elapsed: Optional[float] = None) -> float:
+        """Arrival rate over the window (events per second).
+
+        ``elapsed`` caps the divisor for the start-up transient when less
+        than a full window of history exists.
+        """
+        self._evict(now)
+        horizon = self.window_length
+        if elapsed is not None:
+            horizon = min(horizon, max(elapsed, 1e-9))
+        return len(self._events) / horizon
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+
+@dataclass
+class RateObservation:
+    """One rate sample produced by the dual-window estimator."""
+
+    time: float
+    long_rate: float
+    short_rate: float
+    burst_detected: bool
+    rate: float
+
+
+class DualWindowRateEstimator:
+    """The prototype's arrival-rate estimator (long + short window, burst switch).
+
+    Parameters
+    ----------
+    long_window:
+        Length of the long window in seconds (paper: 120 s).
+    short_window:
+        Length of the short window in seconds (paper: 10 s).
+    burst_factor:
+        Burst threshold: the short-window rate must be at least this
+        multiple of the long-window rate (paper: 2×).
+    """
+
+    def __init__(
+        self,
+        long_window: float = 120.0,
+        short_window: float = 10.0,
+        burst_factor: float = 2.0,
+    ) -> None:
+        if short_window >= long_window:
+            raise ValueError("short window must be shorter than the long window")
+        if burst_factor <= 1.0:
+            raise ValueError("burst factor must exceed 1")
+        self.long = SlidingWindowCounter(long_window)
+        self.short = SlidingWindowCounter(short_window)
+        self.burst_factor = float(burst_factor)
+        self._start_time: Optional[float] = None
+        self._last_observation: Optional[RateObservation] = None
+
+    def record_arrival(self, timestamp: float) -> None:
+        """Record one request arrival."""
+        if self._start_time is None:
+            self._start_time = timestamp
+        self.long.record(timestamp)
+        self.short.record(timestamp)
+
+    def estimate(self, now: float) -> RateObservation:
+        """Produce a rate estimate at time ``now`` (paper: sampled every 5 s)."""
+        elapsed = None if self._start_time is None else now - self._start_time
+        long_rate = self.long.rate(now, elapsed)
+        short_rate = self.short.rate(now, elapsed)
+        burst = short_rate >= self.burst_factor * long_rate and short_rate > 0
+        rate = short_rate if burst else long_rate
+        observation = RateObservation(
+            time=now, long_rate=long_rate, short_rate=short_rate,
+            burst_detected=burst, rate=rate,
+        )
+        self._last_observation = observation
+        return observation
+
+    @property
+    def last_observation(self) -> Optional[RateObservation]:
+        """The most recent :class:`RateObservation`, if any."""
+        return self._last_observation
+
+    def rates(self, now: float) -> Tuple[float, float]:
+        """Convenience accessor returning ``(long_rate, short_rate)``."""
+        elapsed = None if self._start_time is None else now - self._start_time
+        return self.long.rate(now, elapsed), self.short.rate(now, elapsed)
+
+
+__all__ = ["SlidingWindowCounter", "DualWindowRateEstimator", "RateObservation"]

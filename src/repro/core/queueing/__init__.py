@@ -1,0 +1,52 @@
+"""Queueing-theoretic models used by LaSS (§3 of the paper).
+
+* :mod:`repro.core.queueing.mmc` — classical M/M/c/FCFS steady-state
+  analysis: state probabilities, Erlang-C, mean and percentile waiting
+  times.
+* :mod:`repro.core.queueing.heterogeneous` — the Alves et al. upper
+  bounds for M/M/c queues whose servers (containers) have different
+  service rates, used after deflation.
+* :mod:`repro.core.queueing.sizing` — Algorithm 1: the iterative search
+  for the smallest number of containers such that a high percentile of
+  the waiting time stays below ``t = d − s_p``, plus a vectorised fast
+  path used for the scalability experiment (Figure 5).
+* :mod:`repro.core.queueing.distributions` — service-time distributions
+  used by the simulator and by the profile-driven estimators.
+"""
+
+from repro.core.queueing.mmc import MMcQueue, erlang_c, mmc_state_probabilities
+from repro.core.queueing.heterogeneous import HeterogeneousMMcQueue
+from repro.core.queueing.mgc import MGcQueue, required_containers_mgc
+from repro.core.queueing.sizing import (
+    SizingResult,
+    required_containers,
+    required_containers_fast,
+    required_containers_naive,
+    required_containers_heterogeneous,
+)
+from repro.core.queueing.distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    ServiceTimeDistribution,
+    ShiftedExponential,
+)
+
+__all__ = [
+    "MMcQueue",
+    "erlang_c",
+    "mmc_state_probabilities",
+    "HeterogeneousMMcQueue",
+    "MGcQueue",
+    "required_containers_mgc",
+    "SizingResult",
+    "required_containers",
+    "required_containers_fast",
+    "required_containers_naive",
+    "required_containers_heterogeneous",
+    "ServiceTimeDistribution",
+    "Exponential",
+    "Deterministic",
+    "LogNormal",
+    "ShiftedExponential",
+]

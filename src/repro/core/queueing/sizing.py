@@ -1,0 +1,373 @@
+"""Algorithm 1: iterative container sizing (paper §3.1–3.3).
+
+Given an observed arrival rate ``λ``, a service rate ``μ`` (of a
+standard container), an SLO deadline ``d`` and a target percentile
+``p`` (e.g. 0.95 or 0.99), the controller must find the smallest number
+of containers ``c`` such that the ``p``-th percentile of the waiting
+time is at most ``t = d − s_p``, where ``s_p`` is the ``p``-th
+percentile of the service time.  The paper's Algorithm 1 starts from
+the current allocation and increments ``c`` until the waiting-time
+bound reaches ``p``.
+
+Three variants are provided:
+
+* :func:`required_containers` — the faithful reference implementation of
+  Algorithm 1 (homogeneous containers).
+* :func:`required_containers_fast` — a vectorised fast path that
+  evaluates the waiting-time bound with cumulative numpy sums instead of
+  re-computing the state probabilities from scratch at every candidate
+  ``c``.  This plays the role of the paper's Julia implementation in the
+  Figure 5 scalability experiment.
+* :func:`required_containers_heterogeneous` — sizing when the existing
+  containers have been deflated to different service rates: it answers
+  "how many *additional standard* containers must be added so that the
+  heterogeneous bound meets the SLO" (used in §6.2.2 / Figure 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import special
+
+from repro.core.queueing.heterogeneous import HeterogeneousMMcQueue
+from repro.core.queueing.mmc import MMcQueue
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Outcome of a sizing computation.
+
+    Attributes
+    ----------
+    containers:
+        The recommended number of containers ``c``.
+    achieved_probability:
+        The waiting-time bound ``P(Q <= t)`` at the recommendation.
+    wait_budget:
+        The waiting-time budget ``t`` that was targeted.
+    iterations:
+        How many candidate values of ``c`` were evaluated.
+    """
+
+    containers: int
+    achieved_probability: float
+    wait_budget: float
+    iterations: int
+
+
+def wait_budget_from_slo(
+    slo_deadline: float,
+    mu: float,
+    percentile: float = 0.95,
+    service_time_percentile: Optional[float] = None,
+) -> float:
+    """Compute the waiting-time budget ``t = d − s_p``.
+
+    The paper sets ``t_p99 = d − 1/μ_p99``: the request may, in the worst
+    case, experience a high-percentile service time, so only the
+    remainder of the deadline can be spent waiting.  When the SLO is
+    defined purely on waiting time (the paper's default experimental
+    setting: "95% of requests should *start* being processed within
+    100 ms"), pass ``service_time_percentile=0`` to use the full
+    deadline as waiting budget.
+
+    Parameters
+    ----------
+    slo_deadline:
+        The SLO deadline ``d`` in seconds.
+    mu:
+        Mean service rate of a standard container (req/s).
+    percentile:
+        The SLO percentile (used for the service-time percentile when an
+        explicit one is not given).
+    service_time_percentile:
+        The high-percentile service time ``s_p`` to subtract.  ``None``
+        uses the exponential-distribution percentile
+        ``−ln(1 − p)/μ``; ``0`` disables the subtraction.
+    """
+    if slo_deadline <= 0:
+        raise ValueError("SLO deadline must be positive")
+    if mu <= 0:
+        raise ValueError("service rate must be positive")
+    if service_time_percentile is None:
+        service_time_percentile = -math.log(1.0 - percentile) / mu
+    budget = slo_deadline - float(service_time_percentile)
+    return max(0.0, budget)
+
+
+def required_containers(
+    lam: float,
+    mu: float,
+    wait_budget: float,
+    percentile: float = 0.95,
+    current_containers: int = 0,
+    max_containers: int = 100_000,
+) -> SizingResult:
+    """Reference implementation of the paper's Algorithm 1.
+
+    Starting from ``current_containers`` (the paper starts from the
+    number already in the system), increment ``c`` until
+    ``P(Q <= wait_budget) >= percentile``.  The returned ``c`` is always
+    at least the minimum needed for stability (``⌈λ/μ⌉`` plus one when
+    exactly critical).
+
+    Raises
+    ------
+    ValueError
+        If ``max_containers`` is reached without satisfying the SLO
+        (cannot happen for a positive budget, but guards against
+        pathological inputs such as a zero budget with high load).
+    """
+    if lam < 0:
+        raise ValueError("arrival rate must be non-negative")
+    if mu <= 0:
+        raise ValueError("service rate must be positive")
+    if wait_budget < 0:
+        raise ValueError("wait budget must be non-negative")
+    if not 0 < percentile < 1:
+        raise ValueError("percentile must be in (0, 1)")
+
+    if lam == 0:
+        return SizingResult(containers=0, achieved_probability=1.0,
+                            wait_budget=wait_budget, iterations=0)
+
+    c = max(1, int(current_containers))
+    # ensure stability before evaluating the bound
+    min_stable = int(math.floor(lam / mu)) + 1
+    c = max(c, min_stable)
+    iterations = 0
+    while c <= max_containers:
+        iterations += 1
+        queue = MMcQueue(lam, mu, c)
+        if queue.is_stable:
+            probability = queue.wait_bound_probability(wait_budget)
+            if probability >= percentile:
+                return SizingResult(
+                    containers=c,
+                    achieved_probability=probability,
+                    wait_budget=wait_budget,
+                    iterations=iterations,
+                )
+        c += 1
+    raise ValueError(
+        f"could not satisfy SLO with up to {max_containers} containers "
+        f"(lam={lam}, mu={mu}, t={wait_budget}, p={percentile})"
+    )
+
+
+def required_containers_naive(
+    lam: float,
+    mu: float,
+    wait_budget: float,
+    percentile: float = 0.95,
+    current_containers: int = 0,
+    max_containers: int = 100_000,
+) -> SizingResult:
+    """A deliberately naive Algorithm 1, standing in for the paper's Scala path.
+
+    The paper compares its original Scala implementation (slow, and prone
+    to numerical precision problems on large container counts) against an
+    optimised Julia implementation.  This function is the analogous slow
+    path in Python: the M/M/c state probabilities are accumulated term by
+    term in pure Python floating point (no log-space math, no numpy), and
+    candidate container counts are tried one at a time.  Its cost grows
+    roughly quadratically with the final container count, which is what
+    produces the "reference" curve of the Figure 5 reproduction.
+
+    The answer is identical to :func:`required_containers` whenever the
+    naive floating-point evaluation does not underflow/overflow.
+    """
+    if lam < 0:
+        raise ValueError("arrival rate must be non-negative")
+    if mu <= 0:
+        raise ValueError("service rate must be positive")
+    if wait_budget < 0:
+        raise ValueError("wait budget must be non-negative")
+    if not 0 < percentile < 1:
+        raise ValueError("percentile must be in (0, 1)")
+    if lam == 0:
+        return SizingResult(0, 1.0, wait_budget, 0)
+
+    r = lam / mu
+    c = max(1, int(current_containers), int(math.floor(r)) + 1)
+    iterations = 0
+    while c <= max_containers:
+        iterations += 1
+        rho = r / c
+        if rho < 1.0:
+            # normalising constant, term by term
+            term = 1.0
+            norm = 1.0
+            for n in range(1, c):
+                term *= r / n
+                norm += term
+            term_c = term * r / c if c >= 1 else 1.0
+            norm += term_c / (1.0 - rho)
+            # cumulative probability up to L
+            L = int(math.floor(wait_budget * c * mu + c - 1 + 1e-12))
+            cumulative = 0.0
+            term = 1.0
+            for n in range(0, L + 1):
+                if n > 0:
+                    term *= r / min(n, c)
+                cumulative += term
+            probability = min(1.0, cumulative / norm) if norm > 0 else 0.0
+            if probability >= percentile:
+                return SizingResult(c, probability, wait_budget, iterations)
+        c += 1
+    raise ValueError("could not satisfy SLO within max_containers")
+
+
+def _wait_probability_vectorised(lam: float, mu: float, cs: np.ndarray, t: float) -> np.ndarray:
+    """``P(Q <= t)`` for an array of candidate ``c`` values, vectorised per candidate.
+
+    For each candidate ``c`` the bound is ``Σ_{n=0}^{L(c)} P_n`` with
+    ``L(c) = ⌊t c μ + c − 1⌋``.  The state probabilities are evaluated in
+    log space with cumulative sums, so the cost per candidate is
+    ``O(L)`` numpy work with no Python-level inner loop.
+    """
+    r = lam / mu
+    log_r = math.log(r) if r > 0 else -np.inf
+    out = np.zeros(cs.shape, dtype=float)
+    for idx, c in enumerate(cs):
+        c = int(c)
+        rho = r / c
+        if rho >= 1.0:
+            out[idx] = 0.0
+            continue
+        L = int(math.floor(t * c * mu + c - 1 + 1e-12))
+        if L < 0:
+            out[idx] = 0.0
+            continue
+        n = np.arange(L + 1)
+        log_terms = n * log_r - special.gammaln(np.minimum(n, c) + 1)
+        over = n > c
+        if over.any():
+            log_terms[over] -= (n[over] - c) * math.log(c)
+        # normalising constant: head (n < c) + tail in closed form
+        n_head = np.arange(c)
+        log_head = n_head * log_r - special.gammaln(n_head + 1)
+        log_tail = c * log_r - special.gammaln(c + 1) - math.log(1.0 - rho)
+        log_norm = special.logsumexp(np.append(log_head, log_tail))
+        out[idx] = min(1.0, float(np.exp(special.logsumexp(log_terms) - log_norm)))
+    return out
+
+
+def required_containers_fast(
+    lam: float,
+    mu: float,
+    wait_budget: float,
+    percentile: float = 0.95,
+    current_containers: int = 0,
+    max_containers: int = 100_000,
+) -> SizingResult:
+    """Vectorised Algorithm 1 (the "Julia implementation" fast path of Figure 5).
+
+    Rather than incrementing ``c`` one at a time, candidates are evaluated
+    in geometrically growing batches and the smallest satisfying ``c`` is
+    located with a binary search inside the first satisfying batch.  The
+    result is identical to :func:`required_containers`.
+    """
+    if lam < 0:
+        raise ValueError("arrival rate must be non-negative")
+    if mu <= 0:
+        raise ValueError("service rate must be positive")
+    if wait_budget < 0:
+        raise ValueError("wait budget must be non-negative")
+    if not 0 < percentile < 1:
+        raise ValueError("percentile must be in (0, 1)")
+    if lam == 0:
+        return SizingResult(0, 1.0, wait_budget, 0)
+
+    min_stable = int(math.floor(lam / mu)) + 1
+    lo = max(1, int(current_containers), min_stable)
+    iterations = 0
+
+    # exponential search for an upper bracket
+    hi = lo
+    batch = 1
+    while hi <= max_containers:
+        iterations += 1
+        prob = _wait_probability_vectorised(lam, mu, np.array([hi]), wait_budget)[0]
+        if prob >= percentile:
+            break
+        batch *= 2
+        hi += batch
+    else:
+        raise ValueError("could not satisfy SLO within max_containers")
+    hi = min(hi, max_containers)
+
+    # binary search in [lo, hi]
+    while lo < hi:
+        mid = (lo + hi) // 2
+        iterations += 1
+        prob = _wait_probability_vectorised(lam, mu, np.array([mid]), wait_budget)[0]
+        if prob >= percentile:
+            hi = mid
+        else:
+            lo = mid + 1
+    final_prob = _wait_probability_vectorised(lam, mu, np.array([lo]), wait_budget)[0]
+    return SizingResult(containers=int(lo), achieved_probability=float(final_prob),
+                        wait_budget=wait_budget, iterations=iterations)
+
+
+def required_containers_heterogeneous(
+    lam: float,
+    existing_mus: Sequence[float],
+    standard_mu: float,
+    wait_budget: float,
+    percentile: float = 0.95,
+    max_additional: int = 100_000,
+) -> SizingResult:
+    """How many *additional standard* containers are needed on top of an
+    existing (possibly deflated, heterogeneous) set.
+
+    This implements the scenario of §6.2.2 / Figure 4: some containers
+    have been deflated, the function is now under-provisioned, and LaSS
+    adds full-size containers until the heterogeneous waiting-time bound
+    (Alves et al.) meets the SLO.
+
+    Returns a :class:`SizingResult` whose ``containers`` field is the
+    *total* number of containers (existing + added).
+    """
+    if standard_mu <= 0:
+        raise ValueError("standard service rate must be positive")
+    if lam < 0:
+        raise ValueError("arrival rate must be non-negative")
+    existing = [float(m) for m in existing_mus]
+    if any(m <= 0 for m in existing):
+        raise ValueError("existing service rates must be positive")
+    if lam == 0:
+        return SizingResult(len(existing), 1.0, wait_budget, 0)
+
+    iterations = 0
+    added = 0
+    while added <= max_additional:
+        iterations += 1
+        mus = existing + [standard_mu] * added
+        if mus and sum(mus) > lam:
+            queue = HeterogeneousMMcQueue(lam, mus)
+            probability = queue.wait_bound_probability(wait_budget)
+            if probability >= percentile:
+                return SizingResult(
+                    containers=len(mus),
+                    achieved_probability=probability,
+                    wait_budget=wait_budget,
+                    iterations=iterations,
+                )
+        added += 1
+    raise ValueError("could not satisfy SLO within max_additional containers")
+
+
+__all__ = [
+    "SizingResult",
+    "wait_budget_from_slo",
+    "required_containers",
+    "required_containers_naive",
+    "required_containers_fast",
+    "required_containers_heterogeneous",
+]

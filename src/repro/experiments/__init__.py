@@ -1,0 +1,48 @@
+"""Experiment harnesses: one module per table/figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function that regenerates the rows or
+series of one table/figure and returns them as plain dataclasses /
+dicts, plus a ``format_*`` helper that renders them as text.  The
+benchmark suite under ``benchmarks/`` invokes these harnesses (usually
+with shortened durations) and EXPERIMENTS.md records the full-length
+results against the paper's numbers.
+
+| Paper artefact | Harness |
+|----------------|---------|
+| Table 1        | :mod:`repro.experiments.table1_functions` |
+| Figure 3       | :mod:`repro.experiments.fig3_homogeneous` |
+| Figure 4       | :mod:`repro.experiments.fig4_heterogeneous` |
+| Figure 5       | :mod:`repro.experiments.fig5_scalability` |
+| Figure 6       | :mod:`repro.experiments.fig6_autoscaling` |
+| Figure 7       | :mod:`repro.experiments.fig7_deflation` |
+| Figure 8       | :mod:`repro.experiments.fig8_reclamation` |
+| Figure 9       | :mod:`repro.experiments.fig9_azure` |
+"""
+
+from repro.experiments.table1_functions import run_table1, format_table1
+from repro.experiments.fig3_homogeneous import run_fig3, Fig3Point
+from repro.experiments.fig4_heterogeneous import run_fig4, Fig4Point
+from repro.experiments.fig5_scalability import run_fig5, Fig5Point
+from repro.experiments.fig6_autoscaling import run_fig6, Fig6Result
+from repro.experiments.fig7_deflation import run_fig7, Fig7Point
+from repro.experiments.fig8_reclamation import run_fig8, Fig8Result
+from repro.experiments.fig9_azure import run_fig9, Fig9Result
+
+__all__ = [
+    "run_table1",
+    "format_table1",
+    "run_fig3",
+    "Fig3Point",
+    "run_fig4",
+    "Fig4Point",
+    "run_fig5",
+    "Fig5Point",
+    "run_fig6",
+    "Fig6Result",
+    "run_fig7",
+    "Fig7Point",
+    "run_fig8",
+    "Fig8Result",
+    "run_fig9",
+    "Fig9Result",
+]

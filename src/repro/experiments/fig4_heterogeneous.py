@@ -1,0 +1,148 @@
+"""Figure 4: model validation with heterogeneous (deflated) containers (§6.2.2).
+
+The SqueezeNet function is first provisioned with just enough
+homogeneous containers for the offered load; a given proportion of
+those containers (25, 50, 75, or 100 %) is then deflated, leaving the
+function under-provisioned with heterogeneous containers.  LaSS reacts
+by adding standard-size containers using the Alves et al. model
+(:func:`repro.core.queueing.sizing.required_containers_heterogeneous`),
+and the measured P95 waiting time must stay below the 100 ms SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.queueing.sizing import (
+    required_containers,
+    required_containers_heterogeneous,
+)
+from repro.simulation import run_fixed_allocation
+from repro.workloads.functions import get_function
+from repro.workloads.generator import WorkloadBinding
+from repro.workloads.schedules import StaticRate
+
+
+@dataclass(frozen=True)
+class Fig4Point:
+    """One point of Figure 4: a (deflated proportion, λ) configuration."""
+
+    deflated_proportion: float
+    arrival_rate: float
+    homogeneous_containers: int
+    deflated_containers: int
+    total_containers: int
+    slo_deadline: float
+    measured_p95_wait: float
+    completed: int
+
+    @property
+    def slo_met(self) -> bool:
+        """Whether the measured P95 waiting time is within the SLO deadline."""
+        return self.measured_p95_wait <= self.slo_deadline + 1e-9
+
+
+def run_fig4(
+    proportions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    arrival_rates: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0),
+    slo_deadline: float = 0.1,
+    deflation_fraction: float = 0.3,
+    duration: float = 240.0,
+    percentile: float = 0.95,
+    warmup: float = 20.0,
+    seed: int = 4,
+) -> List[Fig4Point]:
+    """Regenerate Figure 4.
+
+    Parameters
+    ----------
+    proportions:
+        Fractions of the initially provisioned containers that get deflated.
+    deflation_fraction:
+        How much CPU each selected container loses (the paper deflates
+        "randomly"; 30 % — the reclamation threshold τ — is the maximum
+        LaSS itself would apply).
+    """
+    function = get_function("squeezenet")
+    mu = function.service_rate
+    speed = function.speed_curve()
+    deflated_speed = speed(1.0 - deflation_fraction)
+    points: List[Fig4Point] = []
+    rng = np.random.default_rng(seed)
+
+    for proportion in proportions:
+        for lam in arrival_rates:
+            base = required_containers(lam=lam, mu=mu, wait_budget=slo_deadline,
+                                       percentile=percentile)
+            n_deflated = int(round(proportion * base.containers))
+            n_deflated = min(n_deflated, base.containers)
+            existing_mus = [mu * deflated_speed] * n_deflated + [mu] * (
+                base.containers - n_deflated
+            )
+            total = required_containers_heterogeneous(
+                lam=lam,
+                existing_mus=existing_mus,
+                standard_mu=mu,
+                wait_budget=slo_deadline,
+                percentile=percentile,
+            )
+            # container line-up handed to the simulator: the deflated ones
+            # first, then the surviving standard ones, then the additions
+            deflation_plan = [1.0 - deflation_fraction] * n_deflated + [1.0] * (
+                total.containers - n_deflated
+            )
+            binding = WorkloadBinding(
+                profile=function,
+                schedule=StaticRate(lam, duration=duration),
+                slo_deadline=slo_deadline,
+            )
+            result = run_fixed_allocation(
+                binding=binding,
+                containers=total.containers,
+                duration=duration,
+                seed=seed + int(lam) + int(proportion * 100),
+                deflation_plan=deflation_plan,
+            )
+            summary = result.waiting_summary(function.name, warmup=warmup)
+            points.append(
+                Fig4Point(
+                    deflated_proportion=proportion,
+                    arrival_rate=lam,
+                    homogeneous_containers=base.containers,
+                    deflated_containers=n_deflated,
+                    total_containers=total.containers,
+                    slo_deadline=slo_deadline,
+                    measured_p95_wait=summary.p95,
+                    completed=summary.count,
+                )
+            )
+    return points
+
+
+def format_fig4(points: Sequence[Fig4Point]) -> str:
+    """Render the Figure 4 measurements as an aligned text table."""
+    lines = [
+        f"{'deflated%':>9} {'lambda':>7} {'c_hom':>6} {'c_total':>8} "
+        f"{'p95 wait(ms)':>13} {'met':>4}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.deflated_proportion * 100:>9.0f} {p.arrival_rate:>7.0f} "
+            f"{p.homogeneous_containers:>6d} {p.total_containers:>8d} "
+            f"{p.measured_p95_wait * 1000:>13.1f} {'yes' if p.slo_met else 'NO':>4}"
+        )
+    return "\n".join(lines)
+
+
+def fraction_meeting_slo(points: Sequence[Fig4Point], tolerance: float = 0.25) -> float:
+    """Fraction of configurations whose P95 wait is within (1+tolerance)×SLO."""
+    if not points:
+        return 1.0
+    ok = sum(1 for p in points if p.measured_p95_wait <= p.slo_deadline * (1 + tolerance))
+    return ok / len(points)
+
+
+__all__ = ["Fig4Point", "run_fig4", "format_fig4", "fraction_meeting_slo"]

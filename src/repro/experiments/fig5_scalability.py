@@ -1,0 +1,129 @@
+"""Figure 5: scalability of the allocation algorithm (paper §6.3).
+
+The paper measures how long the allocation algorithm takes to react to
+a load spike as a function of the number of containers the function
+already has, for two spike sizes (a 10 % increase and a doubling), and
+compares its original Scala implementation against an optimised Julia
+one.  The Julia path stays under ~100 ms even at 1000 containers.
+
+Here the two implementations are the pure-Python reference
+(:func:`required_containers`, incrementing ``c`` one at a time) and the
+vectorised fast path (:func:`required_containers_fast`, exponential +
+binary search with numpy inner loops).  The *shape* to reproduce: the
+fast path's reaction time stays roughly flat (sub-second, typically
+well under 100 ms) as the container count grows into the thousands,
+while the reference path grows with the container count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.core.queueing.sizing import (
+    required_containers,
+    required_containers_fast,
+    required_containers_naive,
+)
+
+
+@dataclass(frozen=True)
+class Fig5Point:
+    """Timing of one allocation computation."""
+
+    implementation: str          #: "naive" (Scala stand-in), "reference", or "fast" (Julia stand-in)
+    spike: str                   #: "10%" or "2x"
+    current_containers: int
+    new_containers: int
+    compute_seconds: float
+
+
+def _workload_for_containers(containers: int, mu: float, wait_budget: float,
+                             percentile: float) -> float:
+    """Find an arrival rate for which the model picks ≈ ``containers`` containers.
+
+    We invert the sizing function coarsely: the model's answer is close to
+    the offered load plus a sub-linear safety margin, so λ ≈ 0.9·c·μ is a
+    good starting point, refined with a few correction steps.
+    """
+    lam = 0.9 * containers * mu
+    for _ in range(8):
+        got = required_containers_fast(lam, mu, wait_budget, percentile).containers
+        if got == containers:
+            return lam
+        lam *= containers / max(1, got)
+    return lam
+
+
+def run_fig5(
+    container_counts: Sequence[int] = (10, 50, 100, 250, 500, 750, 1000),
+    mu: float = 10.0,
+    slo_deadline: float = 0.1,
+    percentile: float = 0.99,
+    spikes: Sequence[str] = ("10%", "2x"),
+    implementations: Sequence[str] = ("naive", "fast"),
+    repeats: int = 3,
+) -> List[Fig5Point]:
+    """Regenerate Figure 5: allocation-algorithm compute time vs. container count.
+
+    ``implementations`` selects which sizing paths to time: "naive" is the
+    pure-Python term-by-term path (the stand-in for the paper's Scala
+    implementation), "reference" is the log-space incremental path, and
+    "fast" is the vectorised binary-search path (the Julia stand-in).
+    """
+    impl_map: dict[str, Callable] = {
+        "naive": required_containers_naive,
+        "reference": required_containers,
+        "fast": required_containers_fast,
+    }
+    spike_map = {"10%": 1.1, "2x": 2.0}
+    points: List[Fig5Point] = []
+    for count in container_counts:
+        base_lam = _workload_for_containers(count, mu, slo_deadline, percentile)
+        for spike in spikes:
+            spiked_lam = base_lam * spike_map[spike]
+            for name in implementations:
+                func = impl_map[name]
+                best = float("inf")
+                result = None
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    result = func(
+                        lam=spiked_lam,
+                        mu=mu,
+                        wait_budget=slo_deadline,
+                        percentile=percentile,
+                        current_containers=count,
+                    )
+                    best = min(best, time.perf_counter() - start)
+                points.append(
+                    Fig5Point(
+                        implementation=name,
+                        spike=spike,
+                        current_containers=count,
+                        new_containers=result.containers,
+                        compute_seconds=best,
+                    )
+                )
+    return points
+
+
+def format_fig5(points: Sequence[Fig5Point]) -> str:
+    """Render the Figure 5 timings as an aligned text table."""
+    lines = [f"{'impl':>10} {'spike':>6} {'containers':>11} {'new c':>6} {'time (ms)':>10}"]
+    for p in points:
+        lines.append(
+            f"{p.implementation:>10} {p.spike:>6} {p.current_containers:>11d} "
+            f"{p.new_containers:>6d} {p.compute_seconds * 1000:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def max_time_seconds(points: Sequence[Fig5Point], implementation: str) -> float:
+    """The worst-case compute time of one implementation across all points."""
+    relevant = [p.compute_seconds for p in points if p.implementation == implementation]
+    return max(relevant) if relevant else 0.0
+
+
+__all__ = ["Fig5Point", "run_fig5", "format_fig5", "max_time_seconds"]

@@ -1,0 +1,31 @@
+"""Measurement: per-request records, percentiles, SLO accounting, utilisation.
+
+The evaluation section of the paper reports three families of numbers,
+all of which this package computes from the simulation:
+
+* waiting-time percentiles per function (Figures 3 and 4),
+* per-function allocation timelines and cluster utilisation under the
+  two reclamation policies (Figures 6, 8, 9),
+* SLO violation rates and container-operation churn.
+"""
+
+from repro.metrics.collector import MetricsCollector, EpochSnapshot, FunctionEpochStats
+from repro.metrics.percentiles import percentile, summarize_waiting_times, WaitingTimeSummary
+from repro.metrics.slo import SloReport, slo_report
+from repro.metrics.utilization import UtilizationTracker, time_weighted_mean
+from repro.metrics.timeline import AllocationTimeline, TimelinePoint
+
+__all__ = [
+    "MetricsCollector",
+    "EpochSnapshot",
+    "FunctionEpochStats",
+    "percentile",
+    "summarize_waiting_times",
+    "WaitingTimeSummary",
+    "SloReport",
+    "slo_report",
+    "UtilizationTracker",
+    "time_weighted_mean",
+    "AllocationTimeline",
+    "TimelinePoint",
+]

@@ -1,0 +1,162 @@
+"""The central metrics collector the controller and experiments write into.
+
+One :class:`MetricsCollector` instance accompanies each simulation run.
+It accumulates every request (for waiting-time and SLO analysis), an
+allocation timeline point per function per epoch (for the Figure 6/8/9
+style plots), utilisation samples, and free-form counters (cold starts,
+drops, container operations).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.metrics.percentiles import WaitingTimeSummary, summarize_waiting_times
+from repro.metrics.slo import SloReport, slo_report
+from repro.metrics.timeline import AllocationTimeline, TimelinePoint
+from repro.metrics.utilization import UtilizationTracker
+from repro.sim.request import Request, RequestStatus
+
+
+@dataclass(frozen=True)
+class FunctionEpochStats:
+    """Per-function statistics captured at the end of one controller epoch."""
+
+    function_name: str
+    containers: int
+    cpu: float
+    desired_containers: int
+    arrival_rate_estimate: float
+    service_rate_estimate: float
+
+
+@dataclass(frozen=True)
+class EpochSnapshot:
+    """Cluster-wide snapshot captured at the end of one controller epoch."""
+
+    time: float
+    overloaded: bool
+    total_cpu: float
+    allocated_cpu: float
+    functions: Dict[str, FunctionEpochStats] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Allocated fraction of cluster CPU at this epoch."""
+        return self.allocated_cpu / self.total_cpu if self.total_cpu else 0.0
+
+
+class MetricsCollector:
+    """Accumulates everything an experiment needs to report."""
+
+    def __init__(self) -> None:
+        self.requests: List[Request] = []
+        self.timeline = AllocationTimeline()
+        self.utilization = UtilizationTracker()
+        self.epochs: List[EpochSnapshot] = []
+        self.counters: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def record_request(self, request: Request) -> None:
+        """Register a request (typically at arrival; its fields keep updating)."""
+        self.requests.append(request)
+        self.counters["arrivals"] += 1
+
+    def record_completion(self, request: Request) -> None:
+        """Count one completed request (the request is already registered)."""
+        self.counters["completions"] += 1
+        if request.cold_start:
+            self.counters["cold_starts"] += 1
+
+    def record_drop(self, count: int = 1) -> None:
+        """Count dropped requests (terminated containers, failed nodes)."""
+        self.counters["drops"] += count
+
+    def increment(self, counter: str, count: int = 1) -> None:
+        """Bump an arbitrary named counter (container ops, burst switches, ...)."""
+        self.counters[counter] += count
+
+    # ------------------------------------------------------------------
+    # Epochs
+    # ------------------------------------------------------------------
+    def record_epoch(self, snapshot: EpochSnapshot) -> None:
+        """Store an epoch snapshot and mirror it into timeline/utilisation."""
+        self.epochs.append(snapshot)
+        self.utilization.record(snapshot.time, snapshot.allocated_cpu, snapshot.total_cpu)
+        for stats in snapshot.functions.values():
+            self.timeline.record(
+                TimelinePoint(
+                    time=snapshot.time,
+                    function_name=stats.function_name,
+                    containers=stats.containers,
+                    cpu=stats.cpu,
+                    desired_containers=stats.desired_containers,
+                    arrival_rate=stats.arrival_rate_estimate,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def completed_requests(self, function_name: Optional[str] = None) -> List[Request]:
+        """All completed requests, optionally restricted to one function."""
+        return [
+            r
+            for r in self.requests
+            if r.status is RequestStatus.COMPLETED
+            and (function_name is None or r.function_name == function_name)
+        ]
+
+    def dropped_requests(self, function_name: Optional[str] = None) -> List[Request]:
+        """All dropped or timed-out requests."""
+        return [
+            r
+            for r in self.requests
+            if r.status in (RequestStatus.DROPPED, RequestStatus.TIMED_OUT)
+            and (function_name is None or r.function_name == function_name)
+        ]
+
+    def waiting_summary(
+        self, function_name: Optional[str] = None, warmup: float = 0.0
+    ) -> WaitingTimeSummary:
+        """Waiting-time percentiles for (a function's) completed requests."""
+        return summarize_waiting_times(self.requests, function_name, warmup)
+
+    def slo(
+        self,
+        deadlines: Mapping[str, float],
+        target_percentile: float = 0.95,
+        warmup: float = 0.0,
+    ) -> Dict[str, SloReport]:
+        """SLO attainment per function."""
+        return slo_report(self.requests, deadlines, target_percentile, warmup=warmup)
+
+    def mean_utilization(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Time-weighted mean cluster utilisation."""
+        return self.utilization.mean_utilization(start, end)
+
+    def throughput(self, function_name: Optional[str] = None) -> int:
+        """Number of completed requests."""
+        return len(self.completed_requests(function_name))
+
+    def summary(self, deadlines: Optional[Mapping[str, float]] = None) -> Dict[str, object]:
+        """A compact dict summary of the whole run, used by examples and reports."""
+        result: Dict[str, object] = {
+            "arrivals": self.counters.get("arrivals", 0),
+            "completions": self.counters.get("completions", 0),
+            "drops": self.counters.get("drops", 0),
+            "cold_starts": self.counters.get("cold_starts", 0),
+            "epochs": len(self.epochs),
+            "mean_utilization": self.mean_utilization(),
+        }
+        if deadlines:
+            reports = self.slo(deadlines)
+            result["slo"] = {name: report.attainment for name, report in reports.items()}
+        return result
+
+
+__all__ = ["MetricsCollector", "EpochSnapshot", "FunctionEpochStats"]

@@ -1,0 +1,135 @@
+"""Waiting-time and response-time percentile summaries.
+
+The paper's model-validation experiments (Figures 3 and 4) report the
+95th percentile of the measured waiting time against the SLO deadline,
+along with box-and-whisker ranges; :func:`summarize_waiting_times`
+computes all of those numbers from a list of completed requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.request import Request, RequestStatus
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (``p`` in (0, 1)) of a non-empty sequence."""
+    if not 0 < p < 1:
+        raise ValueError("p must be in (0, 1)")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    return float(np.quantile(arr, p))
+
+
+@dataclass(frozen=True)
+class WaitingTimeSummary:
+    """Distributional summary of waiting times (all values in seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p95: float
+    p99: float
+    maximum: float
+    minimum: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view, convenient for tabular experiment output."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+            "min": self.minimum,
+        }
+
+
+def _empty_summary() -> WaitingTimeSummary:
+    return WaitingTimeSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def summarize_waiting_times(
+    requests: Iterable[Request],
+    function_name: Optional[str] = None,
+    warmup: float = 0.0,
+) -> WaitingTimeSummary:
+    """Summarise the waiting times of completed requests.
+
+    Parameters
+    ----------
+    requests:
+        Any iterable of :class:`~repro.sim.request.Request`.
+    function_name:
+        Restrict to a single function (``None`` keeps all).
+    warmup:
+        Ignore requests that arrived before this simulation time, so
+        cold-start transients do not pollute steady-state percentiles.
+    """
+    waits: List[float] = []
+    for request in requests:
+        if function_name is not None and request.function_name != function_name:
+            continue
+        if request.arrival_time < warmup:
+            continue
+        if request.status is not RequestStatus.COMPLETED:
+            continue
+        wait = request.waiting_time
+        if wait is not None:
+            waits.append(wait)
+    if not waits:
+        return _empty_summary()
+    arr = np.asarray(waits)
+    return WaitingTimeSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.quantile(arr, 0.5)),
+        p90=float(np.quantile(arr, 0.90)),
+        p95=float(np.quantile(arr, 0.95)),
+        p99=float(np.quantile(arr, 0.99)),
+        maximum=float(arr.max()),
+        minimum=float(arr.min()),
+    )
+
+
+def summarize_response_times(
+    requests: Iterable[Request],
+    function_name: Optional[str] = None,
+    warmup: float = 0.0,
+) -> WaitingTimeSummary:
+    """Like :func:`summarize_waiting_times` but over end-to-end response times."""
+    values: List[float] = []
+    for request in requests:
+        if function_name is not None and request.function_name != function_name:
+            continue
+        if request.arrival_time < warmup:
+            continue
+        if request.status is not RequestStatus.COMPLETED:
+            continue
+        rt = request.response_time
+        if rt is not None:
+            values.append(rt)
+    if not values:
+        return _empty_summary()
+    arr = np.asarray(values)
+    return WaitingTimeSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.quantile(arr, 0.5)),
+        p90=float(np.quantile(arr, 0.90)),
+        p95=float(np.quantile(arr, 0.95)),
+        p99=float(np.quantile(arr, 0.99)),
+        maximum=float(arr.max()),
+        minimum=float(arr.min()),
+    )
+
+
+__all__ = ["percentile", "WaitingTimeSummary", "summarize_waiting_times", "summarize_response_times"]

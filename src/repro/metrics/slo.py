@@ -1,0 +1,122 @@
+"""SLO accounting.
+
+An SLO in this system is "percentile ``p`` of requests must start (or
+finish) within deadline ``d``".  :func:`slo_report` evaluates whether a
+set of completed requests met that target, per function, using either
+the waiting-time interpretation (the paper's default: requests must
+*start* being processed by the deadline) or the response-time
+interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.sim.request import Request, RequestStatus
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """SLO attainment for one function."""
+
+    function_name: str
+    deadline: float
+    target_percentile: float
+    total_requests: int
+    completed_requests: int
+    dropped_requests: int
+    within_deadline: int
+    attainment: float
+    satisfied: bool
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for tabular output."""
+        return {
+            "function": self.function_name,
+            "deadline": self.deadline,
+            "target": self.target_percentile,
+            "total": self.total_requests,
+            "completed": self.completed_requests,
+            "dropped": self.dropped_requests,
+            "within_deadline": self.within_deadline,
+            "attainment": self.attainment,
+            "satisfied": self.satisfied,
+        }
+
+
+def slo_report(
+    requests: Iterable[Request],
+    deadlines: Mapping[str, float],
+    target_percentile: float = 0.95,
+    on_waiting_time: bool = True,
+    warmup: float = 0.0,
+    count_drops_as_violations: bool = True,
+) -> Dict[str, SloReport]:
+    """Evaluate SLO attainment per function.
+
+    Parameters
+    ----------
+    requests:
+        Requests observed during the experiment (any status).
+    deadlines:
+        Relative SLO deadline per function name (seconds).
+    target_percentile:
+        Required fraction of requests meeting the deadline.
+    on_waiting_time:
+        If true, a request "meets" the SLO when its *waiting* time is at
+        most the deadline; otherwise its response time is used.
+    warmup:
+        Requests arriving before this time are excluded.
+    count_drops_as_violations:
+        Dropped / timed-out requests count against attainment when true.
+    """
+    if not 0 < target_percentile < 1:
+        raise ValueError("target_percentile must be in (0, 1)")
+    per_function: Dict[str, Dict[str, int]] = {}
+    for request in requests:
+        if request.arrival_time < warmup:
+            continue
+        name = request.function_name
+        if name not in deadlines:
+            continue
+        stats = per_function.setdefault(
+            name, {"total": 0, "completed": 0, "dropped": 0, "within": 0}
+        )
+        stats["total"] += 1
+        if request.status is RequestStatus.COMPLETED:
+            stats["completed"] += 1
+            metric = request.waiting_time if on_waiting_time else request.response_time
+            if metric is not None and metric <= deadlines[name] + 1e-12:
+                stats["within"] += 1
+        elif request.status in (RequestStatus.DROPPED, RequestStatus.TIMED_OUT):
+            stats["dropped"] += 1
+
+    reports: Dict[str, SloReport] = {}
+    for name, stats in per_function.items():
+        denominator = stats["total"] if count_drops_as_violations else stats["completed"]
+        attainment = stats["within"] / denominator if denominator else 1.0
+        reports[name] = SloReport(
+            function_name=name,
+            deadline=deadlines[name],
+            target_percentile=target_percentile,
+            total_requests=stats["total"],
+            completed_requests=stats["completed"],
+            dropped_requests=stats["dropped"],
+            within_deadline=stats["within"],
+            attainment=attainment,
+            satisfied=attainment >= target_percentile,
+        )
+    return reports
+
+
+def overall_attainment(reports: Mapping[str, SloReport]) -> float:
+    """Request-weighted SLO attainment across all functions."""
+    total = sum(r.total_requests for r in reports.values())
+    if total == 0:
+        return 1.0
+    within = sum(r.within_deadline for r in reports.values())
+    return within / total
+
+
+__all__ = ["SloReport", "slo_report", "overall_attainment"]

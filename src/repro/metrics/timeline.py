@@ -1,0 +1,106 @@
+"""Per-function allocation timelines.
+
+Figures 6, 8, and 9 of the paper are time series of how much capacity
+each function holds (number of containers, or CPU).  The controller
+pushes a point per epoch into an :class:`AllocationTimeline`, from which
+the experiment harness extracts the plotted series and summary
+statistics (e.g. how often a function dipped below its fair share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """Allocation of one function at one instant."""
+
+    time: float
+    function_name: str
+    containers: int
+    cpu: float
+    desired_containers: Optional[int] = None
+    arrival_rate: Optional[float] = None
+
+
+class AllocationTimeline:
+    """A collection of :class:`TimelinePoint` keyed by function."""
+
+    def __init__(self) -> None:
+        self._points: Dict[str, List[TimelinePoint]] = {}
+
+    def record(self, point: TimelinePoint) -> None:
+        """Append one point (points must arrive in time order per function)."""
+        series = self._points.setdefault(point.function_name, [])
+        if series and point.time < series[-1].time - 1e-9:
+            raise ValueError("timeline points must be recorded in time order")
+        series.append(point)
+
+    def functions(self) -> List[str]:
+        """Functions that have at least one point."""
+        return sorted(self._points)
+
+    def series(self, function_name: str) -> List[TimelinePoint]:
+        """All points of a function (a copy)."""
+        return list(self._points.get(function_name, []))
+
+    def cpu_series(self, function_name: str) -> Tuple[List[float], List[float]]:
+        """``(times, cpu)`` arrays for plotting a function's CPU allocation."""
+        points = self._points.get(function_name, [])
+        return [p.time for p in points], [p.cpu for p in points]
+
+    def container_series(self, function_name: str) -> Tuple[List[float], List[int]]:
+        """``(times, container counts)`` arrays for plotting."""
+        points = self._points.get(function_name, [])
+        return [p.time for p in points], [p.containers for p in points]
+
+    def cpu_at(self, function_name: str, time: float) -> float:
+        """The function's CPU allocation at (the last point not after) ``time``."""
+        points = self._points.get(function_name, [])
+        best = 0.0
+        for point in points:
+            if point.time <= time + 1e-9:
+                best = point.cpu
+            else:
+                break
+        return best
+
+    def total_cpu_series(self) -> Tuple[List[float], List[float]]:
+        """Cluster-wide allocated CPU over the union of all sample times."""
+        times = sorted({p.time for series in self._points.values() for p in series})
+        totals = [
+            sum(self.cpu_at(fn, t) for fn in self._points) for t in times
+        ]
+        return times, totals
+
+    def fraction_below(
+        self, function_name: str, threshold_cpu: float, start: float = 0.0, end: Optional[float] = None
+    ) -> float:
+        """Fraction of sampled epochs in which the function held less CPU than ``threshold_cpu``.
+
+        Used to verify the fair-share guarantee: under overload this should
+        be (close to) zero when ``threshold_cpu`` is the guaranteed share.
+        """
+        points = [
+            p for p in self._points.get(function_name, [])
+            if p.time >= start and (end is None or p.time <= end)
+        ]
+        if not points:
+            return 0.0
+        below = sum(1 for p in points if p.cpu < threshold_cpu - 1e-9)
+        return below / len(points)
+
+    def mean_cpu(self, function_name: str, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Unweighted mean CPU allocation of a function over the sampled epochs."""
+        points = [
+            p for p in self._points.get(function_name, [])
+            if p.time >= start and (end is None or p.time <= end)
+        ]
+        if not points:
+            return 0.0
+        return sum(p.cpu for p in points) / len(points)
+
+
+__all__ = ["TimelinePoint", "AllocationTimeline"]

@@ -1,0 +1,267 @@
+"""High-level simulation runner: wire workloads, cluster, and controller together.
+
+This is the main entry point for examples and experiments::
+
+    from repro import SimulationRunner, ClusterConfig, ControllerConfig
+    from repro.workloads import WorkloadBinding, StaticRate, get_function
+
+    runner = SimulationRunner(
+        cluster_config=ClusterConfig(node_count=3, cpu_per_node=4),
+        controller_config=ControllerConfig(),
+        workloads=[WorkloadBinding(get_function("squeezenet"), StaticRate(20, duration=300))],
+        seed=1,
+    )
+    result = runner.run(duration=300)
+    print(result.waiting_summary("squeezenet").p95)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.cluster.cluster import ClusterConfig, EdgeCluster
+from repro.core.controller import ControllerConfig, LassController
+from repro.core.estimation.service_time import ServiceTimeProfile
+from repro.core.allocation.hierarchy import SchedulingTree
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.percentiles import WaitingTimeSummary
+from repro.metrics.slo import SloReport
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngStreams
+from repro.workloads.generator import ArrivalGenerator, WorkloadBinding
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run exposes for analysis."""
+
+    metrics: MetricsCollector
+    cluster: EdgeCluster
+    controller: LassController
+    duration: float
+    generated_requests: Dict[str, int] = field(default_factory=dict)
+
+    def waiting_summary(self, function_name: Optional[str] = None, warmup: float = 0.0) -> WaitingTimeSummary:
+        """Waiting-time percentiles for one function (or all)."""
+        return self.metrics.waiting_summary(function_name, warmup)
+
+    def slo(self, deadlines: Mapping[str, float], percentile: float = 0.95,
+            warmup: float = 0.0) -> Dict[str, SloReport]:
+        """SLO attainment per function."""
+        return self.metrics.slo(deadlines, percentile, warmup)
+
+    def mean_utilization(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Time-weighted mean cluster utilisation over the run."""
+        return self.metrics.mean_utilization(start, end)
+
+    def container_timeline(self, function_name: str):
+        """``(times, container counts)`` series for a function."""
+        return self.metrics.timeline.container_series(function_name)
+
+    def cpu_timeline(self, function_name: str):
+        """``(times, allocated CPU)`` series for a function."""
+        return self.metrics.timeline.cpu_series(function_name)
+
+
+class SimulationRunner:
+    """Builds and runs one complete LaSS simulation.
+
+    Parameters
+    ----------
+    workloads:
+        One :class:`~repro.workloads.generator.WorkloadBinding` per function.
+    cluster_config:
+        Cluster sizing (defaults to the paper's 3×(4 vCPU, 16 GB) testbed).
+    controller_config:
+        Controller parameters (epoch length, reclamation policy, ...).
+    scheduling_tree:
+        Optional explicit fair-share hierarchy; otherwise built from the
+        bindings' users and weights.
+    seed:
+        Master seed for all random streams.
+    use_offline_profiles:
+        Give the controller each function's offline service-time profile
+        (the paper's option 1); otherwise it must learn online (option 2).
+    warm_start_containers:
+        Per-function number of containers to create before the workload
+        starts, so experiments that study steady-state behaviour do not
+        measure the very first cold start.
+    """
+
+    def __init__(
+        self,
+        workloads: Sequence[WorkloadBinding],
+        cluster_config: Optional[ClusterConfig] = None,
+        controller_config: Optional[ControllerConfig] = None,
+        scheduling_tree: Optional[SchedulingTree] = None,
+        seed: int = 1,
+        use_offline_profiles: bool = True,
+        warm_start_containers: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        if not workloads:
+            raise ValueError("at least one workload binding is required")
+        names = [w.profile.name for w in workloads]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate function names in workload bindings")
+
+        self.engine = SimulationEngine()
+        self.rng = RngStreams(seed)
+        self.cluster = EdgeCluster(self.engine, cluster_config or ClusterConfig())
+        self.metrics = MetricsCollector()
+        self.bindings = list(workloads)
+
+        profiles: Dict[str, ServiceTimeProfile] = {}
+        default_rates: Dict[str, float] = {}
+        for binding in self.bindings:
+            deployment = binding.profile.to_deployment(
+                weight=binding.weight,
+                user=binding.user,
+                slo_deadline=binding.slo_deadline,
+            )
+            self.cluster.deploy(deployment)
+            default_rates[binding.profile.name] = binding.profile.service_rate
+            if use_offline_profiles:
+                profiles[binding.profile.name] = binding.profile.to_service_profile()
+
+        self.controller = LassController(
+            engine=self.engine,
+            cluster=self.cluster,
+            config=controller_config or ControllerConfig(),
+            scheduling_tree=scheduling_tree,
+            metrics=self.metrics,
+            service_profiles=profiles,
+            default_service_rates=default_rates,
+        )
+
+        self.generators: List[ArrivalGenerator] = []
+        for binding in self.bindings:
+            generator = ArrivalGenerator(
+                engine=self.engine,
+                profile=binding.profile,
+                schedule=binding.schedule,
+                dispatch=self.controller.dispatch,
+                rng=self.rng.stream(f"arrivals:{binding.profile.name}"),
+                slo_deadline=binding.slo_deadline,
+            )
+            self.generators.append(generator)
+
+        self._warm_start = dict(warm_start_containers or {})
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def prewarm(self) -> None:
+        """Create the requested warm-start containers and let them finish cold start."""
+        created_any = False
+        for name, count in self._warm_start.items():
+            for _ in range(count):
+                self.cluster.create_container(name)
+                created_any = True
+        if created_any:
+            self.engine.run(until=self.engine.now + self.cluster.config.cold_start_latency + 1e-6)
+
+    def run(self, duration: float, extra_drain: float = 5.0) -> SimulationResult:
+        """Run the simulation for ``duration`` seconds of workload.
+
+        ``extra_drain`` extends the event loop past the workload horizon so
+        in-flight requests can complete and be counted.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.prewarm()
+        self.controller.start()
+        for generator in self.generators:
+            if generator.horizon is None or generator.horizon > duration:
+                generator.horizon = duration
+            generator.start()
+        self.engine.run(until=duration + extra_drain)
+        generated = {g.profile.name: g.generated for g in self.generators}
+        return SimulationResult(
+            metrics=self.metrics,
+            cluster=self.cluster,
+            controller=self.controller,
+            duration=duration,
+            generated_requests=generated,
+        )
+
+
+def run_fixed_allocation(
+    binding: WorkloadBinding,
+    containers: int,
+    duration: float,
+    cluster_config: Optional[ClusterConfig] = None,
+    seed: int = 1,
+    deflation_plan: Optional[Sequence[float]] = None,
+) -> SimulationResult:
+    """Run a single function against a *fixed* container allocation (no autoscaling).
+
+    Used by the model-validation experiments (Figures 3 and 4): the model
+    chooses ``containers`` ahead of time, the allocation stays fixed, and
+    the measured waiting-time percentiles are compared against the SLO.
+
+    Parameters
+    ----------
+    deflation_plan:
+        Optional per-container CPU fractions (e.g. ``[0.7, 0.7, 1.0, 1.0]``)
+        applied after the containers warm up, to create a heterogeneous
+        configuration.
+    """
+    if containers < 1:
+        raise ValueError("containers must be >= 1")
+    engine = SimulationEngine()
+    rng = RngStreams(seed)
+    # size the "cluster" generously: these experiments isolate the queueing
+    # behaviour from placement constraints
+    config = cluster_config or ClusterConfig(
+        node_count=max(3, containers), cpu_per_node=8.0, memory_per_node_mb=32 * 1024.0
+    )
+    cluster = EdgeCluster(engine, config)
+    metrics = MetricsCollector()
+    deployment = binding.profile.to_deployment(
+        weight=binding.weight, user=binding.user, slo_deadline=binding.slo_deadline
+    )
+    cluster.deploy(deployment)
+
+    controller = LassController(
+        engine=engine,
+        cluster=cluster,
+        # an epoch longer than the experiment disables autoscaling entirely
+        config=ControllerConfig(epoch_length=duration * 10, online_learning=False),
+        metrics=metrics,
+        service_profiles={binding.profile.name: binding.profile.to_service_profile()},
+        default_service_rates={binding.profile.name: binding.profile.service_rate},
+    )
+
+    for _ in range(containers):
+        cluster.create_container(binding.profile.name)
+    engine.run(until=config.cold_start_latency + 1e-6)
+
+    if deflation_plan is not None:
+        live = cluster.containers_of(binding.profile.name)
+        if len(deflation_plan) != len(live):
+            raise ValueError("deflation_plan length must match the container count")
+        for container, fraction in zip(live, deflation_plan):
+            container.deflate_to(container.standard_cpu * fraction)
+
+    generator = ArrivalGenerator(
+        engine=engine,
+        profile=binding.profile,
+        schedule=binding.schedule,
+        dispatch=controller.dispatch,
+        rng=rng.stream(f"arrivals:{binding.profile.name}"),
+        slo_deadline=binding.slo_deadline,
+        horizon=duration,
+    )
+    generator.start()
+    engine.run(until=duration + 5.0)
+    return SimulationResult(
+        metrics=metrics,
+        cluster=cluster,
+        controller=controller,
+        duration=duration,
+        generated_requests={binding.profile.name: generator.generated},
+    )
+
+
+__all__ = ["SimulationRunner", "SimulationResult", "run_fixed_allocation"]

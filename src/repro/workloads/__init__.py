@@ -1,0 +1,49 @@
+"""Workloads: the function catalogue, arrival-rate schedules, and generators.
+
+* :mod:`repro.workloads.functions` — the seven functions of Table 1 with
+  their standard container sizes and deflation response curves
+  (Figure 7).
+* :mod:`repro.workloads.generator` — Poisson arrival generators driven
+  by rate schedules (static, discrete change, continuous change), the
+  three modes of the paper's IoT workload generator.
+* :mod:`repro.workloads.traces` — replay of per-minute invocation-count
+  traces as a rate schedule.
+* :mod:`repro.workloads.azure` — synthesis of Azure-Functions-like
+  per-minute traces (the substitution for the proprietary Azure Public
+  Dataset sample used in §6.7).
+"""
+
+from repro.workloads.functions import (
+    FUNCTION_CATALOG,
+    FunctionProfile,
+    get_function,
+    microbenchmark,
+)
+from repro.workloads.generator import ArrivalGenerator, WorkloadBinding
+from repro.workloads.schedules import (
+    CompositeSchedule,
+    RampSchedule,
+    RateSchedule,
+    StaticRate,
+    StepSchedule,
+    TraceSchedule,
+)
+from repro.workloads.azure import AzureTraceConfig, synthesize_azure_trace, synthesize_azure_traces
+
+__all__ = [
+    "FunctionProfile",
+    "FUNCTION_CATALOG",
+    "get_function",
+    "microbenchmark",
+    "ArrivalGenerator",
+    "WorkloadBinding",
+    "RateSchedule",
+    "StaticRate",
+    "StepSchedule",
+    "RampSchedule",
+    "TraceSchedule",
+    "CompositeSchedule",
+    "AzureTraceConfig",
+    "synthesize_azure_trace",
+    "synthesize_azure_traces",
+]

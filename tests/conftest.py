@@ -1,0 +1,43 @@
+"""Shared pytest fixtures.
+
+Also makes the test suite runnable straight from a source checkout (or
+when the editable install is unavailable) by putting ``src/`` on the
+import path.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.cluster.cluster import ClusterConfig, EdgeCluster, FunctionDeployment  # noqa: E402
+from repro.sim.engine import SimulationEngine  # noqa: E402
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    """A fresh simulation engine."""
+    return SimulationEngine()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_cluster(engine) -> EdgeCluster:
+    """The paper's 3-node / 4-vCPU / 16-GB edge cluster."""
+    return EdgeCluster(engine, ClusterConfig())
+
+
+@pytest.fixture
+def simple_deployment() -> FunctionDeployment:
+    """A 1-vCPU / 512-MB function with a 100 ms SLO."""
+    return FunctionDeployment(name="fn", cpu=1.0, memory_mb=512, slo_deadline=0.1)

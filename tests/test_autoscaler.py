@@ -1,0 +1,97 @@
+"""Tests for the model-driven autoscaler (paper §3.3)."""
+
+import pytest
+
+from repro.core.allocation.autoscaler import Autoscaler
+from repro.core.queueing.sizing import required_containers
+
+
+class TestAutoscaler:
+    def test_matches_algorithm1_for_homogeneous_containers(self):
+        scaler = Autoscaler(percentile=0.95)
+        decision = scaler.desired_containers(
+            "fn", arrival_rate=30.0, service_rate=10.0, slo_deadline=0.1
+        )
+        expected = required_containers(30.0, 10.0, 0.1, 0.95).containers
+        assert decision.desired_containers == expected
+        assert decision.achieved_probability >= 0.95
+        assert not decision.used_heterogeneous_model
+
+    def test_zero_rate_scales_to_zero(self):
+        scaler = Autoscaler()
+        decision = scaler.desired_containers("fn", 0.0, 10.0, 0.1, current_containers=4)
+        assert decision.desired_containers == 0
+        assert decision.scale_down
+
+    def test_min_containers_floor(self):
+        scaler = Autoscaler()
+        decision = scaler.desired_containers("fn", 0.0, 10.0, 0.1, min_containers=2)
+        assert decision.desired_containers == 2
+
+    def test_scale_up_down_flags_and_delta(self):
+        scaler = Autoscaler()
+        up = scaler.desired_containers("fn", 50.0, 10.0, 0.1, current_containers=2)
+        assert up.scale_up and up.delta > 0
+        down = scaler.desired_containers("fn", 5.0, 10.0, 0.1, current_containers=10)
+        assert down.scale_down and down.delta < 0
+
+    def test_heterogeneous_path_used_when_rates_differ(self):
+        scaler = Autoscaler()
+        decision = scaler.desired_containers(
+            "fn", arrival_rate=30.0, service_rate=10.0, slo_deadline=0.1,
+            current_containers=4, existing_service_rates=[7.0, 7.0, 10.0, 10.0],
+        )
+        assert decision.used_heterogeneous_model
+        assert decision.desired_containers >= 4
+
+    def test_heterogeneous_needs_at_least_homogeneous(self):
+        scaler = Autoscaler()
+        hom = scaler.desired_containers("fn", 40.0, 10.0, 0.1).desired_containers
+        het = scaler.desired_containers(
+            "fn", 40.0, 10.0, 0.1,
+            existing_service_rates=[7.0] * hom,
+        ).desired_containers
+        assert het >= hom
+
+    def test_headroom_containers_added(self):
+        base = Autoscaler().desired_containers("fn", 30.0, 10.0, 0.1).desired_containers
+        padded = Autoscaler(headroom_containers=2).desired_containers(
+            "fn", 30.0, 10.0, 0.1
+        ).desired_containers
+        assert padded == base + 2
+
+    def test_subtract_service_percentile_is_more_conservative(self):
+        plain = Autoscaler(subtract_service_percentile=False).desired_containers(
+            "fn", 30.0, 10.0, 0.5
+        ).desired_containers
+        conservative = Autoscaler(subtract_service_percentile=True).desired_containers(
+            "fn", 30.0, 10.0, 0.5
+        ).desired_containers
+        assert conservative >= plain
+
+    def test_fast_and_reference_paths_agree(self):
+        fast = Autoscaler(use_fast_sizing=True)
+        slow = Autoscaler(use_fast_sizing=False)
+        for lam in (5.0, 25.0, 80.0):
+            assert (
+                fast.desired_containers("fn", lam, 10.0, 0.1).desired_containers
+                == slow.desired_containers("fn", lam, 10.0, 0.1).desired_containers
+            )
+
+    def test_minimum_stable_containers(self):
+        scaler = Autoscaler()
+        assert scaler.minimum_stable_containers(0.0, 10.0) == 0
+        assert scaler.minimum_stable_containers(25.0, 10.0) == 3
+        assert scaler.minimum_stable_containers(30.0, 10.0) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Autoscaler(percentile=1.5)
+        with pytest.raises(ValueError):
+            Autoscaler(headroom_containers=-1)
+        with pytest.raises(ValueError):
+            Autoscaler().desired_containers("fn", -1.0, 10.0, 0.1)
+        with pytest.raises(ValueError):
+            Autoscaler().desired_containers("fn", 1.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            Autoscaler().minimum_stable_containers(1.0, 0.0)

@@ -1,0 +1,267 @@
+"""Tests for service-time distributions and the estimation layer."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimation.ewma import EwmaEstimator
+from repro.core.estimation.service_time import (
+    OnlineServiceTimeEstimator,
+    ServiceTimeProfile,
+    StreamingQuantile,
+)
+from repro.core.estimation.sliding_window import DualWindowRateEstimator, SlidingWindowCounter
+from repro.core.queueing.distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    ShiftedExponential,
+)
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("dist", [
+        Exponential(0.1),
+        Deterministic(0.1),
+        LogNormal(0.1, cv=0.3),
+        ShiftedExponential(0.04, 0.06),
+    ])
+    def test_sample_mean_matches_declared_mean(self, dist, rng):
+        samples = dist.sample(rng, size=20000)
+        assert float(np.mean(samples)) == pytest.approx(dist.mean, rel=0.05)
+
+    @pytest.mark.parametrize("dist", [
+        Exponential(0.1),
+        Deterministic(0.1),
+        LogNormal(0.1, cv=0.3),
+        ShiftedExponential(0.04, 0.06),
+    ])
+    def test_percentile_matches_empirical(self, dist, rng):
+        samples = dist.sample(rng, size=20000)
+        assert dist.percentile(0.9) == pytest.approx(float(np.quantile(samples, 0.9)), rel=0.08)
+
+    @pytest.mark.parametrize("dist", [
+        Exponential(0.1),
+        Deterministic(0.1),
+        LogNormal(0.1, cv=0.3),
+        ShiftedExponential(0.04, 0.06),
+    ])
+    def test_scaled_doubles_the_mean(self, dist):
+        assert dist.scaled(2.0).mean == pytest.approx(2 * dist.mean)
+
+    def test_rate_is_inverse_mean(self):
+        assert Exponential(0.25).rate == pytest.approx(4.0)
+
+    def test_exponential_percentile_closed_form(self):
+        assert Exponential(0.1).percentile(0.95) == pytest.approx(-0.1 * math.log(0.05))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            LogNormal(0.1, cv=0.0)
+        with pytest.raises(ValueError):
+            ShiftedExponential(-0.1, 0.1)
+        with pytest.raises(ValueError):
+            Exponential(0.1).percentile(1.0)
+
+
+class TestEwma:
+    def test_first_observation_seeds_value(self):
+        ewma = EwmaEstimator(alpha=0.7)
+        assert ewma.update(10.0) == 10.0
+
+    def test_weights_recent_observations(self):
+        ewma = EwmaEstimator(alpha=0.7)
+        ewma.update(10.0)
+        assert ewma.update(20.0) == pytest.approx(0.7 * 20 + 0.3 * 10)
+
+    def test_converges_to_constant_input(self):
+        ewma = EwmaEstimator(alpha=0.5, initial=0.0)
+        for _ in range(40):
+            ewma.update(5.0)
+        assert ewma.value == pytest.approx(5.0, abs=1e-6)
+
+    def test_history_and_count(self):
+        ewma = EwmaEstimator()
+        ewma.update(1.0)
+        ewma.update(2.0)
+        assert ewma.observations == 2
+        assert len(ewma.history) == 2
+
+    def test_predict_before_observation(self):
+        assert EwmaEstimator().predict() == 0.0
+
+    def test_reset(self):
+        ewma = EwmaEstimator()
+        ewma.update(3.0)
+        ewma.reset()
+        assert ewma.value is None and ewma.observations == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaEstimator().update(-1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=50),
+           st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_stays_within_observed_range(self, observations, alpha):
+        ewma = EwmaEstimator(alpha=alpha)
+        for value in observations:
+            ewma.update(value)
+        assert min(observations) - 1e-9 <= ewma.value <= max(observations) + 1e-9
+
+
+class TestSlidingWindows:
+    def test_counter_evicts_old_events(self):
+        counter = SlidingWindowCounter(10.0)
+        for t in (0.0, 2.0, 5.0, 9.0, 12.0):
+            counter.record(t)
+        # the window is (now - length, now]: events at 0.0 and exactly at the
+        # cutoff (2.0) are evicted, 5.0 / 9.0 / 12.0 remain
+        assert counter.count(now=12.0) == 3
+        assert counter.count(now=20.0) == 1
+
+    def test_rate_uses_elapsed_cap(self):
+        counter = SlidingWindowCounter(120.0)
+        for t in np.arange(0.0, 5.0, 0.5):
+            counter.record(float(t))
+        assert counter.rate(now=5.0, elapsed=5.0) == pytest.approx(2.0)
+
+    def test_non_decreasing_timestamps_enforced(self):
+        counter = SlidingWindowCounter(10.0)
+        counter.record(5.0)
+        with pytest.raises(ValueError):
+            counter.record(1.0)
+
+    def test_dual_window_uses_long_window_without_burst(self):
+        estimator = DualWindowRateEstimator(long_window=120, short_window=10)
+        for t in np.arange(0.0, 100.0, 0.1):   # steady 10 req/s
+            estimator.record_arrival(float(t))
+        obs = estimator.estimate(now=100.0)
+        assert not obs.burst_detected
+        assert obs.rate == pytest.approx(10.0, rel=0.05)
+
+    def test_dual_window_switches_on_burst(self):
+        estimator = DualWindowRateEstimator(long_window=120, short_window=10, burst_factor=2.0)
+        t = 0.0
+        while t < 100.0:                       # 5 req/s background
+            estimator.record_arrival(t)
+            t += 0.2
+        while t < 110.0:                       # 10-second burst at 50 req/s
+            estimator.record_arrival(t)
+            t += 0.02
+        obs = estimator.estimate(now=110.0)
+        assert obs.burst_detected
+        assert obs.rate == pytest.approx(50.0, rel=0.15)
+        assert obs.rate == obs.short_rate
+
+    def test_estimate_with_no_arrivals(self):
+        estimator = DualWindowRateEstimator()
+        obs = estimator.estimate(now=50.0)
+        assert obs.rate == 0.0
+        assert not obs.burst_detected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DualWindowRateEstimator(long_window=10, short_window=10)
+        with pytest.raises(ValueError):
+            DualWindowRateEstimator(burst_factor=1.0)
+        with pytest.raises(ValueError):
+            SlidingWindowCounter(0.0)
+
+
+class TestServiceTimeProfile:
+    def make_profile(self) -> ServiceTimeProfile:
+        return ServiceTimeProfile(
+            function_name="fn",
+            cpu_fractions=(0.5, 0.7, 1.0),
+            mean_service_times=(0.2, 0.15, 0.1),
+            distribution=Exponential(0.1),
+        )
+
+    def test_interpolates_mean(self):
+        profile = self.make_profile()
+        assert profile.mean_service_time(1.0) == pytest.approx(0.1)
+        assert profile.mean_service_time(0.5) == pytest.approx(0.2)
+        assert 0.15 < profile.mean_service_time(0.6) < 0.2
+
+    def test_service_rate_inverse(self):
+        assert self.make_profile().service_rate(1.0) == pytest.approx(10.0)
+
+    def test_percentile_scales_with_size(self):
+        profile = self.make_profile()
+        assert profile.percentile(0.95, 0.5) == pytest.approx(2 * profile.percentile(0.95, 1.0))
+
+    def test_from_speed_curve(self):
+        profile = ServiceTimeProfile.from_speed_curve("fn", 0.1, lambda f: f)
+        assert profile.mean_service_time(0.5) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceTimeProfile("fn", (1.0, 0.5), (0.1, 0.2))   # not sorted
+        with pytest.raises(ValueError):
+            ServiceTimeProfile("fn", (0.5,), (0.1, 0.2))       # length mismatch
+        with pytest.raises(ValueError):
+            ServiceTimeProfile("fn", (0.5,), (-0.1,))
+
+
+class TestStreamingQuantileAndOnlineEstimator:
+    def test_quantile_matches_numpy_for_small_samples(self, rng):
+        sq = StreamingQuantile(max_samples=5000)
+        data = rng.exponential(0.1, size=2000)
+        for x in data:
+            sq.add(float(x))
+        assert sq.quantile(0.95) == pytest.approx(float(np.quantile(data, 0.95)), rel=0.02)
+        assert sq.count == 2000
+
+    def test_reservoir_bounds_memory(self, rng):
+        sq = StreamingQuantile(max_samples=100)
+        for x in rng.exponential(0.1, size=5000):
+            sq.add(float(x))
+        assert len(sq._sorted) == 100
+        assert sq.count == 5000
+
+    def test_quantile_requires_data(self):
+        with pytest.raises(ValueError):
+            StreamingQuantile().quantile(0.5)
+
+    def test_online_estimator_learns_per_bucket(self):
+        estimator = OnlineServiceTimeEstimator(bucket_width=0.1)
+        for _ in range(50):
+            estimator.observe(1.0, 0.1)
+            estimator.observe(0.7, 0.15)
+        assert estimator.mean_service_time(1.0) == pytest.approx(0.1)
+        assert estimator.mean_service_time(0.7) == pytest.approx(0.15)
+        assert estimator.service_rate(1.0) == pytest.approx(10.0)
+
+    def test_online_estimator_falls_back_to_nearest_bucket(self):
+        estimator = OnlineServiceTimeEstimator()
+        for _ in range(30):
+            estimator.observe(1.0, 0.1)
+        # asking about 50% CPU: scales the standard observation proportionally
+        assert estimator.mean_service_time(0.5) == pytest.approx(0.2, rel=0.05)
+
+    def test_online_estimator_unknown_returns_none(self):
+        estimator = OnlineServiceTimeEstimator()
+        assert estimator.mean_service_time(1.0) is None
+        assert estimator.service_rate(1.0) is None
+
+    def test_percentile_from_observations(self, rng):
+        estimator = OnlineServiceTimeEstimator()
+        data = rng.exponential(0.1, size=2000)
+        for x in data:
+            estimator.observe(1.0, float(x))
+        assert estimator.percentile(0.95, 1.0) == pytest.approx(float(np.quantile(data, 0.95)), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineServiceTimeEstimator(bucket_width=0.0)
+        with pytest.raises(ValueError):
+            OnlineServiceTimeEstimator().observe(1.0, -0.1)
+        with pytest.raises(ValueError):
+            StreamingQuantile(max_samples=2)

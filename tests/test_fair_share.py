@@ -1,0 +1,197 @@
+"""Tests for weighted fair-share allocation (paper §4.1), including Lemmas 1 and 2."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation.fair_share import (
+    fair_share_allocation,
+    guaranteed_shares,
+    is_overloaded,
+    progressive_filling,
+)
+
+
+class TestGuaranteedShares:
+    def test_equal_weights_split_evenly(self):
+        shares = guaranteed_shares({"a": 1.0, "b": 1.0}, 12, discrete=True)
+        assert shares == {"a": 6.0, "b": 6.0}
+
+    def test_weighted_split(self):
+        shares = guaranteed_shares({"a": 1.0, "b": 2.0}, 12, discrete=True)
+        assert shares == {"a": 4.0, "b": 8.0}
+
+    def test_discrete_floors(self):
+        shares = guaranteed_shares({"a": 1.0, "b": 1.0, "c": 1.0}, 10, discrete=True)
+        assert shares == {"a": 3.0, "b": 3.0, "c": 3.0}
+
+    def test_continuous_shares(self):
+        shares = guaranteed_shares({"a": 1.0, "b": 1.0, "c": 1.0}, 10, discrete=False)
+        assert sum(shares.values()) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            guaranteed_shares({"a": 0.0}, 10)
+        with pytest.raises(ValueError):
+            guaranteed_shares({"a": 1.0}, -1)
+
+
+class TestOverloadDetection:
+    def test_paper_definition(self):
+        assert is_overloaded({"a": 7, "b": 6}, 12)
+        assert not is_overloaded({"a": 6, "b": 6}, 12)
+
+
+class TestFairShareAllocation:
+    def test_no_overload_returns_demands(self):
+        result = fair_share_allocation({"a": 3, "b": 4}, {"a": 1, "b": 1}, 12)
+        assert not result.is_overloaded
+        assert result.allocations == {"a": 3.0, "b": 4.0}
+
+    def test_lemma1_all_overloaded_get_exact_guaranteed_share(self):
+        # Lemma 1: every function overloaded -> each gets exactly floor(w_i/sum w * C)
+        demands = {"a": 20, "b": 30, "c": 25}
+        weights = {"a": 1.0, "b": 2.0, "c": 1.0}
+        result = fair_share_allocation(demands, weights, 12)
+        assert result.is_overloaded
+        assert set(result.overloaded) == {"a", "b", "c"}
+        assert result.allocations == result.guaranteed
+        assert result.allocations == {"a": 3.0, "b": 6.0, "c": 3.0}
+
+    def test_lemma2_overloaded_functions_get_at_least_guaranteed(self):
+        demands = {"well": 2, "over1": 20, "over2": 9}
+        weights = {"well": 1.0, "over1": 1.0, "over2": 1.0}
+        result = fair_share_allocation(demands, weights, 12)
+        assert result.is_overloaded
+        assert "well" in result.well_behaved
+        assert result.allocations["well"] == 2.0
+        for name in result.overloaded:
+            assert result.allocations[name] >= result.guaranteed[name]
+
+    def test_well_behaved_functions_unaffected(self):
+        demands = {"small": 1, "big": 100}
+        weights = {"small": 1.0, "big": 1.0}
+        result = fair_share_allocation(demands, weights, 12)
+        assert result.allocations["small"] == 1.0
+        assert result.allocations["big"] == 11.0
+
+    def test_never_exceeds_capacity(self):
+        demands = {"a": 50, "b": 60, "c": 10}
+        result = fair_share_allocation(demands, {"a": 1, "b": 1, "c": 1}, 24)
+        assert result.total_allocated() <= 24 + 1e-9
+
+    def test_continuous_units(self):
+        demands = {"a": 9.5, "b": 4.0}
+        result = fair_share_allocation(demands, {"a": 1.0, "b": 1.0}, 12.0, discrete=False)
+        assert result.is_overloaded
+        assert result.allocations["b"] == pytest.approx(4.0)
+        assert result.allocations["a"] == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fair_share_allocation({}, {}, 12)
+        with pytest.raises(ValueError):
+            fair_share_allocation({"a": 1}, {}, 12)
+        with pytest.raises(ValueError):
+            fair_share_allocation({"a": -1}, {"a": 1}, 12)
+
+    @given(
+        data=st.dictionaries(
+            keys=st.sampled_from(["f1", "f2", "f3", "f4", "f5"]),
+            values=st.tuples(
+                st.integers(min_value=0, max_value=60),     # demand
+                st.floats(min_value=0.5, max_value=5.0),    # weight
+            ),
+            min_size=1, max_size=5,
+        ),
+        capacity=st.integers(min_value=1, max_value=48),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_lemma2_and_capacity(self, data, capacity):
+        demands = {k: float(v[0]) for k, v in data.items()}
+        weights = {k: v[1] for k, v in data.items()}
+        result = fair_share_allocation(demands, weights, capacity)
+        # never exceed capacity under overload
+        if result.is_overloaded:
+            assert result.total_allocated() <= capacity + 1e-6
+            # Lemma 2: overloaded functions receive at least their guaranteed share
+            for name in result.overloaded:
+                assert result.allocations[name] >= result.guaranteed[name] - 1e-9
+            # well-behaved functions get exactly their demand
+            for name in result.well_behaved:
+                assert result.allocations[name] == pytest.approx(demands[name])
+        else:
+            assert result.allocations == pytest.approx(demands)
+
+
+class TestProgressiveFilling:
+    def test_matches_single_pass_when_everyone_is_greedy(self):
+        demands = {"a": 30.0, "b": 40.0}
+        weights = {"a": 1.0, "b": 1.0}
+        single = fair_share_allocation(demands, weights, 12, discrete=False)
+        filled = progressive_filling(demands, weights, 12, discrete=False)
+        assert filled.allocations == pytest.approx(single.allocations)
+
+    def test_redistributes_unused_slice(self):
+        # b's proportional slice (6) exceeds its demand (5); the surplus goes to a
+        demands = {"a": 20.0, "b": 5.0}
+        weights = {"a": 1.0, "b": 1.0}
+        filled = progressive_filling(demands, weights, 12, discrete=False)
+        assert filled.allocations["b"] == pytest.approx(5.0)
+        assert filled.allocations["a"] == pytest.approx(7.0)
+
+    def test_demand_above_fair_slice_is_capped_at_the_slice(self):
+        # max-min fairness: b wants slightly more than its slice and gets
+        # exactly the slice, not its full demand
+        demands = {"a": 20.0, "b": 7.0}
+        filled = progressive_filling(demands, {"a": 1.0, "b": 1.0}, 12, discrete=False)
+        assert filled.allocations["b"] == pytest.approx(6.0)
+        assert filled.allocations["a"] == pytest.approx(6.0)
+
+    def test_never_allocates_more_than_demand(self):
+        demands = {"a": 2.0, "b": 3.0, "c": 100.0}
+        filled = progressive_filling(demands, {"a": 1, "b": 1, "c": 1}, 50, discrete=False)
+        for name, demand in demands.items():
+            assert filled.allocations[name] <= demand + 1e-9
+
+    def test_wastes_nothing_while_demand_remains(self):
+        demands = {"a": 10.0, "b": 9.0}
+        filled = progressive_filling(demands, {"a": 1, "b": 1}, 12, discrete=False)
+        assert sum(filled.allocations.values()) == pytest.approx(12.0)
+
+    def test_no_overload_returns_demands(self):
+        demands = {"a": 3.0, "b": 4.0}
+        filled = progressive_filling(demands, {"a": 1, "b": 1}, 12, discrete=False)
+        assert filled.allocations == pytest.approx(demands)
+
+    @given(
+        data=st.dictionaries(
+            keys=st.sampled_from(["f1", "f2", "f3", "f4"]),
+            values=st.tuples(
+                st.floats(min_value=0.0, max_value=50.0),
+                st.floats(min_value=0.5, max_value=4.0),
+            ),
+            min_size=1, max_size=4,
+        ),
+        capacity=st.floats(min_value=1.0, max_value=40.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_filling_invariants(self, data, capacity):
+        demands = {k: v[0] for k, v in data.items()}
+        weights = {k: v[1] for k, v in data.items()}
+        result = progressive_filling(demands, weights, capacity, discrete=False)
+        total_demand = sum(demands.values())
+        # allocations never exceed demands nor capacity
+        for name in demands:
+            assert result.allocations[name] <= demands[name] + 1e-6
+        assert sum(result.allocations.values()) <= capacity + 1e-6
+        # work-conserving: either all demand met or all capacity used
+        assert (
+            sum(result.allocations.values()) >= min(total_demand, capacity) - 1e-5
+        )
+        # Lemma 2 analogue: an overloaded function gets at least
+        # min(its demand, its guaranteed share)
+        for name in result.overloaded:
+            floor_share = min(demands[name], result.guaranteed[name])
+            assert result.allocations[name] >= floor_share - 1e-6

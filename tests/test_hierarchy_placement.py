@@ -1,0 +1,184 @@
+"""Tests for the scheduling hierarchy and container placement."""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.core.allocation.hierarchy import SchedulingNode, SchedulingTree
+from repro.core.allocation.placement import (
+    PlacementRequest,
+    best_fit,
+    first_fit,
+    plan_placements,
+    worst_fit,
+)
+
+
+class TestSchedulingTree:
+    def test_flat_tree_effective_weights(self):
+        tree = SchedulingTree.flat({"a": 1.0, "b": 3.0})
+        weights = tree.effective_weights()
+        assert weights["a"] == pytest.approx(0.25)
+        assert weights["b"] == pytest.approx(0.75)
+
+    def test_two_level_tree_matches_paper_setup(self):
+        # two users, user-2 has twice the weight, three functions each:
+        # user-1's functions are entitled to ~1/3 of the cluster in total
+        tree = SchedulingTree.two_level(
+            users={"user-1": 1.0, "user-2": 2.0},
+            functions={"a": "user-1", "b": "user-1", "c": "user-1",
+                       "d": "user-2", "e": "user-2", "f": "user-2"},
+        )
+        shares = tree.guaranteed_shares(12.0)
+        user1_total = shares["a"] + shares["b"] + shares["c"]
+        user2_total = shares["d"] + shares["e"] + shares["f"]
+        assert user1_total == pytest.approx(4.0)
+        assert user2_total == pytest.approx(8.0)
+
+    def test_allocation_respects_user_weights_under_contention(self):
+        tree = SchedulingTree.two_level(
+            users={"user-1": 1.0, "user-2": 2.0},
+            functions={"a": "user-1", "b": "user-2"},
+        )
+        allocations = tree.allocate({"a": 100.0, "b": 100.0}, 12.0)
+        assert allocations["a"] == pytest.approx(4.0)
+        assert allocations["b"] == pytest.approx(8.0)
+
+    def test_unused_share_flows_to_other_user(self):
+        tree = SchedulingTree.two_level(
+            users={"user-1": 1.0, "user-2": 2.0},
+            functions={"a": "user-1", "b": "user-2"},
+        )
+        allocations = tree.allocate({"a": 100.0, "b": 2.0}, 12.0)
+        assert allocations["b"] == pytest.approx(2.0)
+        assert allocations["a"] == pytest.approx(10.0)
+
+    def test_within_user_split_by_function_weight(self):
+        tree = SchedulingTree.two_level(
+            users={"u": 1.0},
+            functions={"a": "u", "b": "u"},
+            function_weights={"a": 3.0, "b": 1.0},
+        )
+        allocations = tree.allocate({"a": 100.0, "b": 100.0}, 8.0)
+        assert allocations["a"] == pytest.approx(6.0)
+        assert allocations["b"] == pytest.approx(2.0)
+
+    def test_no_demand_allocates_nothing(self):
+        tree = SchedulingTree.flat({"a": 1.0, "b": 1.0})
+        allocations = tree.allocate({"a": 0.0, "b": 0.0}, 12.0)
+        assert allocations == {"a": 0.0, "b": 0.0}
+
+    def test_allocation_never_exceeds_demand_or_capacity(self):
+        tree = SchedulingTree.flat({"a": 1.0, "b": 1.0, "c": 2.0})
+        demands = {"a": 1.0, "b": 5.0, "c": 20.0}
+        allocations = tree.allocate(demands, 12.0)
+        assert sum(allocations.values()) <= 12.0 + 1e-9
+        for name in demands:
+            assert allocations[name] <= demands[name] + 1e-9
+
+    def test_unknown_function_rejected(self):
+        tree = SchedulingTree.flat({"a": 1.0})
+        with pytest.raises(KeyError):
+            tree.allocate({"zzz": 1.0}, 12.0)
+
+    def test_unknown_user_rejected(self):
+        tree = SchedulingTree()
+        with pytest.raises(KeyError):
+            tree.add_function("fn", user="ghost")
+
+    def test_duplicate_child_rejected(self):
+        node = SchedulingNode("root")
+        node.add_child(SchedulingNode("a"))
+        with pytest.raises(ValueError):
+            node.add_child(SchedulingNode("a"))
+
+    def test_three_level_hierarchy(self):
+        # the paper notes the model extends to arbitrary levels
+        tree = SchedulingTree()
+        org = tree.root.add_child(SchedulingNode("org", weight=1.0))
+        team1 = org.add_child(SchedulingNode("team-1", weight=1.0))
+        team2 = org.add_child(SchedulingNode("team-2", weight=1.0))
+        team1.add_child(SchedulingNode("f1"))
+        team2.add_child(SchedulingNode("f2"))
+        allocations = tree.allocate({"f1": 50.0, "f2": 50.0}, 10.0)
+        assert allocations["f1"] == pytest.approx(5.0)
+        assert allocations["f2"] == pytest.approx(5.0)
+
+    def test_function_names_and_find(self):
+        tree = SchedulingTree.flat({"a": 1.0, "b": 1.0})
+        assert set(tree.function_names()) == {"a", "b"}
+        assert tree.root.find("a").name == "a"
+        assert tree.root.find("zzz") is None
+
+
+class TestPlacement:
+    def make_nodes(self):
+        return [Node("n0", 4.0, 16384), Node("n1", 4.0, 16384), Node("n2", 4.0, 16384)]
+
+    def test_worst_fit_picks_emptiest(self):
+        nodes = self.make_nodes()
+        nodes[0].add_container(_container(2.0))
+        chosen = worst_fit(nodes, PlacementRequest("fn", 1.0, 256))
+        assert chosen.name in ("n1", "n2")
+
+    def test_best_fit_picks_fullest_that_fits(self):
+        nodes = self.make_nodes()
+        nodes[0].add_container(_container(2.0))
+        chosen = best_fit(nodes, PlacementRequest("fn", 1.0, 256))
+        assert chosen.name == "n0"
+
+    def test_first_fit_respects_order(self):
+        nodes = self.make_nodes()
+        chosen = first_fit(nodes, PlacementRequest("fn", 1.0, 256))
+        assert chosen.name == "n0"
+
+    def test_infeasible_returns_none(self):
+        nodes = self.make_nodes()
+        assert best_fit(nodes, PlacementRequest("fn", 5.0, 256)) is None
+
+    def test_unresponsive_nodes_skipped(self):
+        nodes = self.make_nodes()
+        for node in nodes[:2]:
+            node.unresponsive = True
+        chosen = worst_fit(nodes, PlacementRequest("fn", 1.0, 256))
+        assert chosen.name == "n2"
+
+    def test_plan_reserves_capacity_across_batch(self):
+        nodes = self.make_nodes()
+        requests = [PlacementRequest("fn", 2.0, 1024)] * 6
+        plan = plan_placements(nodes, requests, strategy="worst_fit")
+        assert plan.fully_placed
+        per_node = {}
+        for request, node_name in plan.placements:
+            per_node[node_name] = per_node.get(node_name, 0) + 1
+        assert all(count == 2 for count in per_node.values())
+
+    def test_plan_reports_unplaced(self):
+        nodes = self.make_nodes()
+        requests = [PlacementRequest("fn", 3.0, 1024)] * 5
+        plan = plan_placements(nodes, requests)
+        assert len(plan.placements) == 3
+        assert len(plan.unplaced) == 2
+
+    def test_best_fit_packing_leaves_room_for_large_containers(self):
+        nodes = self.make_nodes()
+        small = [PlacementRequest("small", 0.5, 256)] * 4
+        plan = plan_placements(nodes, small, strategy="best_fit")
+        for request, node_name in plan.placements:
+            node = next(n for n in nodes if n.name == node_name)
+            node.add_container(_container(request.cpu))
+        # a 4-vCPU container must still fit somewhere
+        assert any(n.can_fit(4.0, 1024) for n in nodes)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            plan_placements(self.make_nodes(), [], strategy="bogus")
+
+    def test_invalid_request_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementRequest("fn", 0.0, 128)
+
+
+def _container(cpu: float):
+    from repro.cluster.container import Container
+
+    return Container(function_name="x", node_name="", standard_cpu=cpu, memory_mb=256)

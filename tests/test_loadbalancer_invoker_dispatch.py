@@ -1,0 +1,219 @@
+"""Unit tests for the WRR load balancer, invokers, and the shared-queue dispatcher."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, EdgeCluster, FunctionDeployment
+from repro.cluster.container import Container
+from repro.cluster.invoker import InvokerCommand, InvokerPool
+from repro.cluster.loadbalancer import WeightedRoundRobinBalancer, proportional_split
+from repro.core.dispatch import SharedQueueDispatcher
+from repro.sim.request import Request, RequestStatus
+
+
+def warm_container(cpu=1.0, name="fn") -> Container:
+    container = Container(function_name=name, node_name="n0", standard_cpu=cpu, memory_mb=128)
+    container.mark_warm(0.0)
+    return container
+
+
+def make_request(name="fn", work=0.1, arrival=0.0) -> Request:
+    return Request(function_name=name, arrival_time=arrival, work=work)
+
+
+class TestWeightedRoundRobin:
+    def test_equal_weights_round_robin_evenly(self):
+        balancer = WeightedRoundRobinBalancer()
+        containers = [warm_container() for _ in range(3)]
+        counts = balancer.dispatch_counts("fn", containers, 300)
+        assert all(count == 100 for count in counts.values())
+
+    def test_weights_follow_cpu_allocation(self):
+        balancer = WeightedRoundRobinBalancer()
+        big, small = warm_container(cpu=2.0), warm_container(cpu=1.0)
+        counts = balancer.dispatch_counts("fn", [big, small], 300)
+        assert counts[big.container_id] == 200
+        assert counts[small.container_id] == 100
+
+    def test_deflated_container_receives_less(self):
+        balancer = WeightedRoundRobinBalancer()
+        a, b = warm_container(), warm_container()
+        b.deflate_to(0.5)
+        counts = balancer.dispatch_counts("fn", [a, b], 300)
+        assert counts[a.container_id] == 200
+        assert counts[b.container_id] == 100
+
+    def test_smooth_interleaving_not_bursty(self):
+        balancer = WeightedRoundRobinBalancer()
+        big, small = warm_container(cpu=3.0), warm_container(cpu=1.0)
+        picks = [balancer.pick("fn", [big, small]).container_id for _ in range(8)]
+        # the small container should never wait more than 4 picks in a row
+        assert small.container_id in picks[:4]
+        assert small.container_id in picks[4:]
+
+    def test_returns_none_without_available_containers(self):
+        balancer = WeightedRoundRobinBalancer()
+        cold = Container(function_name="fn", node_name="n0", standard_cpu=1.0, memory_mb=128)
+        assert balancer.pick("fn", []) is None
+        assert balancer.pick("fn", [cold]) is None
+
+    def test_state_pruned_for_gone_containers(self):
+        balancer = WeightedRoundRobinBalancer()
+        a, b = warm_container(), warm_container()
+        balancer.pick("fn", [a, b])
+        balancer.pick("fn", [a])
+        assert b.container_id not in balancer._scores["fn"]
+
+    def test_pick_least_loaded(self, engine):
+        balancer = WeightedRoundRobinBalancer()
+        a, b = warm_container(), warm_container()
+        a.submit(make_request(work=10.0), engine)
+        chosen = balancer.pick_least_loaded("fn", [a, b])
+        assert chosen is b
+
+    def test_reset(self):
+        balancer = WeightedRoundRobinBalancer()
+        balancer.pick("fn", [warm_container()])
+        balancer.reset("fn")
+        assert "fn" not in balancer._scores
+
+
+class TestProportionalSplit:
+    def test_sums_to_total(self):
+        assert sum(proportional_split([1, 2, 3], 17)) == 17
+
+    def test_exact_proportions(self):
+        assert proportional_split([1.0, 1.0], 10) == [5, 5]
+        assert proportional_split([2.0, 1.0], 9) == [6, 3]
+
+    def test_zero_weights_split_evenly(self):
+        assert sum(proportional_split([0.0, 0.0, 0.0], 7)) == 7
+
+    def test_empty_and_invalid(self):
+        assert proportional_split([], 5) == []
+        with pytest.raises(ValueError):
+            proportional_split([1.0], -1)
+        with pytest.raises(ValueError):
+            proportional_split([-1.0], 1)
+
+
+class TestInvokers:
+    @pytest.fixture
+    def cluster(self, engine):
+        cluster = EdgeCluster(engine, ClusterConfig())
+        cluster.deploy(FunctionDeployment(name="fn", cpu=1.0, memory_mb=256))
+        return cluster
+
+    def test_create_terminate_resize_logged(self, engine, cluster):
+        pool = InvokerPool(cluster)
+        invoker = pool["node-0"]
+        container = invoker.create_container("fn")
+        invoker.resize_container(container.container_id, 0.7)
+        invoker.terminate_container(container.container_id)
+        counts = invoker.command_counts()
+        assert counts[InvokerCommand.CREATE] == 1
+        assert counts[InvokerCommand.RESIZE] == 1
+        assert counts[InvokerCommand.TERMINATE] == 1
+
+    def test_pool_routes_by_container_node(self, engine, cluster):
+        pool = InvokerPool(cluster)
+        container = pool["node-1"].create_container("fn")
+        assert pool.invoker_for_container(container.container_id).node_name == "node-1"
+
+    def test_terminate_returns_dropped_requests(self, engine, cluster):
+        pool = InvokerPool(cluster)
+        container = pool["node-0"].create_container("fn")
+        engine.run(until=1.0)
+        container.submit(make_request(work=10.0), engine)
+        dropped = pool["node-0"].terminate_container(container.container_id)
+        assert len(dropped) == 1
+
+    def test_total_command_counts(self, engine, cluster):
+        pool = InvokerPool(cluster)
+        pool["node-0"].create_container("fn")
+        pool["node-1"].create_container("fn")
+        totals = pool.total_command_counts()
+        assert totals[InvokerCommand.CREATE] == 2
+
+
+class TestSharedQueueDispatcher:
+    def test_dispatches_to_idle_container_immediately(self, engine):
+        dispatcher = SharedQueueDispatcher(engine)
+        container = warm_container()
+        request = make_request()
+        assert dispatcher.submit(request, [container]) is True
+        engine.run()
+        assert request.status is RequestStatus.COMPLETED
+        assert request.waiting_time == 0.0
+
+    def test_queues_when_all_containers_busy(self, engine):
+        dispatcher = SharedQueueDispatcher(engine)
+        container = warm_container()
+        first, second = make_request(work=0.2), make_request(work=0.2)
+        dispatcher.submit(first, [container])
+        assert dispatcher.submit(second, [container]) is False
+        assert dispatcher.queue_length("fn") == 1
+        engine.run()
+        assert second.status is RequestStatus.COMPLETED
+        assert second.waiting_time == pytest.approx(0.2)
+
+    def test_behaves_like_shared_queue_not_per_container(self, engine):
+        # with 2 containers and 3 requests, the third runs on whichever
+        # container frees first — total makespan 2 service times, not 3
+        dispatcher = SharedQueueDispatcher(engine)
+        containers = [warm_container(), warm_container()]
+        requests = [make_request(work=0.1) for _ in range(3)]
+        for request in requests:
+            dispatcher.submit(request, containers)
+        engine.run()
+        assert max(r.completion_time for r in requests) == pytest.approx(0.2)
+
+    def test_drain_moves_queued_work_to_new_containers(self, engine):
+        dispatcher = SharedQueueDispatcher(engine)
+        request = make_request()
+        dispatcher.submit(request, [])          # nothing warm yet
+        assert dispatcher.queue_length("fn") == 1
+        container = warm_container()
+        started = dispatcher.drain("fn", [container])
+        assert started == 1
+        engine.run()
+        assert request.status is RequestStatus.COMPLETED
+
+    def test_completion_callback_fires(self, engine):
+        seen = []
+        dispatcher = SharedQueueDispatcher(engine, on_complete=lambda r, c: seen.append(r))
+        dispatcher.submit(make_request(), [warm_container()])
+        engine.run()
+        assert len(seen) == 1
+
+    def test_skips_requests_dropped_while_queued(self, engine):
+        dispatcher = SharedQueueDispatcher(engine)
+        request = make_request()
+        dispatcher.submit(request, [])
+        request.mark_dropped(1.0)
+        started = dispatcher.drain("fn", [warm_container()])
+        assert started == 0
+
+    def test_total_queued_counts_all_functions(self, engine):
+        dispatcher = SharedQueueDispatcher(engine)
+        dispatcher.submit(make_request(name="a"), [])
+        dispatcher.submit(make_request(name="b"), [])
+        assert dispatcher.total_queued() == 2
+
+    def test_larger_containers_get_more_dispatches(self, engine):
+        dispatcher = SharedQueueDispatcher(engine)
+        big = warm_container(cpu=2.0)
+        small = warm_container(cpu=1.0)
+        small.deflate_to(1.0)
+        # submit many short requests with gaps so both are idle each time
+        completions = {big.container_id: 0, small.container_id: 0}
+
+        def count(request, container):
+            completions[container.container_id] += 1
+
+        dispatcher._on_complete = count
+        for i in range(30):
+            request = make_request(work=0.001, arrival=i * 1.0)
+            engine.schedule_at(i * 1.0, lambda r=request: dispatcher.submit(r, [big, small]))
+        engine.run()
+        assert completions[big.container_id] == 20
+        assert completions[small.container_id] == 10

@@ -1,0 +1,180 @@
+"""Tests for the termination and deflation reclamation policies (paper §4.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.container import Container
+from repro.core.allocation.reclamation import (
+    CreateAction,
+    DeflationPolicy,
+    TerminationPolicy,
+)
+
+
+def containers(name: str, count: int, cpu: float, current: float = None):
+    result = []
+    for _ in range(count):
+        container = Container(function_name=name, node_name="n", standard_cpu=cpu, memory_mb=256)
+        if current is not None:
+            container.deflate_to(current)
+        result.append(container)
+    return result
+
+
+class TestTerminationPolicy:
+    def test_no_action_when_targets_match(self):
+        pool = {"a": containers("a", 3, 1.0)}
+        plan = TerminationPolicy().plan(pool, {"a": 3.0}, {"a": 1.0}, free_cpu=9.0)
+        assert plan.is_empty()
+
+    def test_terminates_down_to_target_count(self):
+        pool = {"a": containers("a", 5, 2.0)}
+        plan = TerminationPolicy().plan(pool, {"a": 6.0}, {"a": 2.0})
+        assert len(plan.terminations) == 2
+        assert not plan.deflations
+
+    def test_terminates_smallest_containers_first(self):
+        small = containers("a", 1, 2.0, current=1.0)[0]
+        big = containers("a", 1, 2.0)[0]
+        plan = TerminationPolicy().plan({"a": [small, big]}, {"a": 2.0}, {"a": 2.0})
+        assert len(plan.terminations) == 1
+        assert plan.terminations[0].container_id == small.container_id
+
+    def test_creates_whole_containers_for_underallocated(self):
+        pool = {"a": containers("a", 5, 2.0), "b": containers("b", 1, 0.5)}
+        plan = TerminationPolicy().plan(
+            pool, {"a": 6.0, "b": 3.0}, {"a": 2.0, "b": 0.5}, free_cpu=0.0
+        )
+        created_b = [c for c in plan.creations if c.function_name == "b"]
+        assert len(created_b) == 5
+        assert all(c.cpu == pytest.approx(0.5) for c in created_b)
+
+    def test_creation_limited_by_available_capacity(self):
+        pool = {"b": containers("b", 0, 1.0)}
+        plan = TerminationPolicy().plan({"b": []}, {"b": 10.0}, {"b": 1.0}, free_cpu=2.0)
+        assert len(plan.creations) == 2
+
+    def test_fragment_left_when_freed_capacity_smaller_than_standard(self):
+        # terminating a 2-vCPU container to satisfy a 0.5-vCPU need leaves
+        # 1.5 vCPU stranded (the paper's fragmentation argument, §6.6)
+        pool = {"mobile": containers("mobile", 5, 2.0), "malware": containers("malware", 4, 0.5)}
+        plan = TerminationPolicy().plan(
+            pool, {"mobile": 9.5, "malware": 2.5}, {"mobile": 2.0, "malware": 0.5}, free_cpu=0.0
+        )
+        assert len(plan.terminations) == 1           # one whole MobileNet container
+        created = [c for c in plan.creations if c.function_name == "malware"]
+        assert len(created) == 1                      # malware gets its one container
+        freed = 2.0
+        used = 0.5
+        assert freed - used == pytest.approx(1.5)     # the stranded fragment
+
+    def test_restores_deflated_containers_when_not_shrinking(self):
+        pool = {"a": containers("a", 2, 1.0, current=0.7)}
+        plan = TerminationPolicy().plan(pool, {"a": 2.0}, {"a": 1.0})
+        assert len(plan.inflations) == 2
+
+
+class TestDeflationPolicy:
+    def test_no_action_when_targets_match(self):
+        pool = {"a": containers("a", 3, 1.0)}
+        plan = DeflationPolicy().plan(pool, {"a": 3.0}, {"a": 1.0}, free_cpu=9.0)
+        assert plan.is_empty()
+
+    def test_deflates_instead_of_terminating(self):
+        pool = {"a": containers("a", 5, 2.0)}
+        plan = DeflationPolicy(threshold=0.3).plan(pool, {"a": 9.0}, {"a": 2.0})
+        assert not plan.terminations
+        assert len(plan.deflations) == 5
+        total_after = sum(d.cpu for d in plan.deflations)
+        assert total_after == pytest.approx(9.0)
+
+    def test_deflation_respects_threshold(self):
+        pool = {"a": containers("a", 5, 2.0)}
+        plan = DeflationPolicy(threshold=0.3).plan(pool, {"a": 8.0}, {"a": 2.0})
+        for action in plan.deflations:
+            assert action.cpu >= 2.0 * 0.7 - 1e-9
+
+    def test_terminates_when_deflation_alone_is_insufficient(self):
+        # target 4.0 from 5x2.0 = 10.0: even at 30% deflation five containers
+        # hold 7.0, so containers must also be terminated
+        pool = {"a": containers("a", 5, 2.0)}
+        plan = DeflationPolicy(threshold=0.3).plan(pool, {"a": 4.0}, {"a": 2.0})
+        assert plan.terminations
+        survivors = 5 - len(plan.terminations)
+        total = survivors * 2.0
+        for action in plan.deflations:
+            total -= 2.0 - action.cpu
+        assert total <= 4.0 + 1e-9
+        assert total >= 4.0 - 2.0 * 0.3 * survivors - 1e-9
+
+    def test_keeps_more_containers_than_termination(self):
+        pool_term = {"a": containers("a", 5, 2.0)}
+        pool_defl = {"a": containers("a", 5, 2.0)}
+        target = {"a": 7.0}
+        std = {"a": 2.0}
+        term_plan = TerminationPolicy().plan(pool_term, target, std)
+        defl_plan = DeflationPolicy().plan(pool_defl, target, std)
+        term_survivors = 5 - len(term_plan.terminations)
+        defl_survivors = 5 - len(defl_plan.terminations)
+        assert defl_survivors > term_survivors
+
+    def test_uses_fragments_via_deflated_creation(self):
+        # 1.5 vCPU free can host a deflated 2-vCPU container (>= 70% of standard)
+        pool = {"a": []}
+        plan = DeflationPolicy(threshold=0.3).plan({"a": []}, {"a": 1.5}, {"a": 2.0}, free_cpu=1.5)
+        assert len(plan.creations) == 1
+        assert plan.creations[0].cpu == pytest.approx(1.5)
+
+    def test_no_deflated_creation_when_disabled(self):
+        plan = DeflationPolicy(threshold=0.3, allow_deflated_creation=False).plan(
+            {"a": []}, {"a": 1.5}, {"a": 2.0}, free_cpu=1.5
+        )
+        assert not plan.creations
+
+    def test_inflates_before_creating(self):
+        pool = {"a": containers("a", 2, 2.0, current=1.4)}
+        plan = DeflationPolicy().plan(pool, {"a": 4.0}, {"a": 2.0}, free_cpu=2.0)
+        assert len(plan.inflations) == 2
+        assert sum(i.cpu for i in plan.inflations) == pytest.approx(4.0)
+
+    def test_reclaimed_capacity_feeds_creations(self):
+        pool = {
+            "over": containers("over", 5, 2.0),
+            "under": containers("under", 2, 0.5),
+        }
+        plan = DeflationPolicy().plan(
+            pool, {"over": 9.0, "under": 2.0}, {"over": 2.0, "under": 0.5}, free_cpu=0.0
+        )
+        created = [c for c in plan.creations if c.function_name == "under"]
+        assert sum(c.cpu for c in created) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeflationPolicy(threshold=0.0)
+        with pytest.raises(ValueError):
+            DeflationPolicy(threshold=0.3, increment=0.5)
+
+    @given(
+        count=st.integers(min_value=1, max_value=10),
+        cpu=st.sampled_from([0.5, 1.0, 2.0]),
+        target_fraction=st.floats(min_value=0.1, max_value=1.0),
+        threshold=st.floats(min_value=0.1, max_value=0.5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_deflation_meets_target_and_threshold(self, count, cpu, target_fraction, threshold):
+        pool = {"a": containers("a", count, cpu)}
+        current_total = count * cpu
+        target = current_total * target_fraction
+        plan = DeflationPolicy(threshold=threshold).plan(pool, {"a": target}, {"a": cpu})
+        terminated = {t.container_id for t in plan.terminations}
+        survivors = [c for c in pool["a"] if c.container_id not in terminated]
+        levels = {c.container_id: c.current_cpu for c in survivors}
+        for action in plan.deflations:
+            levels[action.container_id] = action.cpu
+        total_after = sum(levels.values())
+        # never exceeds the target (within epsilon)
+        assert total_after <= target + 1e-6
+        # every surviving container respects the deflation threshold
+        for c in survivors:
+            assert levels[c.container_id] >= cpu * (1 - threshold) - 1e-9
+            assert levels[c.container_id] <= cpu + 1e-9
