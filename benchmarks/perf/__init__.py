@@ -1,0 +1,14 @@
+"""Performance benchmark harness (events/sec, dispatches/sec, end-to-end runs).
+
+Unlike the figure-regeneration benchmarks in the parent directory, these
+are *trajectory* benchmarks: every PR that touches the hot path re-runs
+them and records the numbers in a ``BENCH_<PR>.json`` file at the repo
+root, so regressions and wins are visible across the whole history.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --quick
+
+See ``EXPERIMENTS.md`` ("Performance") for the JSON schema and
+methodology.
+"""

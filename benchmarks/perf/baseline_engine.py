@@ -1,0 +1,243 @@
+"""Frozen copy of the PR-0 *seed* simulation engine — benchmark baseline only.
+
+This file is a verbatim snapshot of ``src/repro/sim/engine.py`` as of the
+seed commit (dataclass events, per-event kwargs dicts).  It exists so the
+perf harness can measure the live engine against the seed implementation
+in the same process under identical conditions.  Never import it from
+production code and never "fix" it: its slowness is the point.
+
+Original docstring:
+
+
+The engine maintains a priority queue of timestamped events.  Each event
+carries a callback; running the simulation repeatedly pops the earliest
+event and invokes its callback, which may schedule further events.
+
+Determinism guarantees
+----------------------
+* Events with identical timestamps are executed in the order they were
+  scheduled (a monotonically increasing sequence number breaks ties).
+* All randomness must come from :class:`repro.sim.rng.RngStreams`, which
+  is seeded explicitly, so a simulation run is a pure function of its
+  configuration and seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used incorrectly (e.g. scheduling in the past)."""
+
+
+class _StopSimulation(Exception):
+    """Internal control-flow exception used to stop the event loop."""
+
+
+def stop_simulation() -> None:
+    """Immediately stop the currently running simulation.
+
+    May only be called from inside an event callback.
+    """
+    raise _StopSimulation()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event.
+
+    Events are ordered by ``(time, priority, sequence)``.  ``priority``
+    allows control-plane events (e.g. the end-of-epoch controller tick)
+    to run before or after data-path events that share a timestamp.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    kwargs: dict = field(compare=False, default_factory=dict)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """A minimal but complete discrete-event simulation engine.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock, in seconds.
+
+    Examples
+    --------
+    >>> engine = SimulationEngine()
+    >>> fired = []
+    >>> _ = engine.schedule(1.5, lambda: fired.append(engine.now))
+    >>> engine.run()
+    >>> fired
+    [1.5]
+    """
+
+    #: Default priority for data-path events.
+    PRIORITY_DATA = 0
+    #: Priority for control-plane events; runs after data events at the same time.
+    PRIORITY_CONTROL = 10
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._sequence = 0
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_DATA,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if math.isnan(delay) or math.isinf(delay):
+            raise SimulationError(f"invalid delay: {delay}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_DATA,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, which is before now={self._now:.6f}"
+            )
+        event = Event(
+            time=float(time),
+            priority=priority,
+            sequence=self._sequence,
+            callback=callback,
+            args=args,
+            kwargs=kwargs,
+        )
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would advance strictly past this time.
+            Events scheduled exactly at ``until`` are executed.
+        max_events:
+            Safety valve; stop after this many events.
+
+        Returns
+        -------
+        float
+            The simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run() call)")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                try:
+                    event.callback(*event.args, **event.kwargs)
+                except _StopSimulation:
+                    break
+                self._events_processed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            else:
+                # queue drained; if an 'until' horizon was given, advance to it
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute a single event.  Returns ``False`` if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            try:
+                event.callback(*event.args, **event.kwargs)
+            except _StopSimulation:
+                return False
+            self._events_processed += 1
+            return True
+        return False
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Drop all pending events and rewind the clock."""
+        if self._running:
+            raise SimulationError("cannot reset a running engine")
+        self._queue.clear()
+        self._now = float(start_time)
+        self._sequence = 0
+        self._events_processed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationEngine(now={self._now:.3f}, pending={len(self._queue)}, "
+            f"processed={self._events_processed})"
+        )

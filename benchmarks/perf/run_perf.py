@@ -1,0 +1,199 @@
+"""Perf-benchmark CLI: run the trajectory benchmarks and emit ``BENCH_*.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] [--output BENCH_PR1.json]
+
+Two kinds of baseline are reported:
+
+* ``in-process``: the event-loop benchmarks run the frozen seed engine
+  (:mod:`benchmarks.perf.baseline_engine`) in the same process, so the
+  speedup is measured under identical conditions on every host.
+* ``recorded``: the dispatcher and end-to-end benchmarks exercise the
+  whole current stack, which cannot be swapped back to the seed code at
+  runtime; their baselines come from ``seed_baseline.json``, recorded on
+  the PR-0 tree (machine-dependent — regenerate both files together when
+  the host changes).
+
+See EXPERIMENTS.md ("Performance") for the JSON schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+_HERE = Path(__file__).resolve().parent
+_REPO = _HERE.parents[1]
+for path in (str(_REPO / "src"), str(_REPO / "benchmarks")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from perf import scenarios  # noqa: E402
+from perf.baseline_engine import SimulationEngine as BaselineEngine  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def _bench_row(name, unit, value, baseline, baseline_source, params):
+    row = {
+        "name": name,
+        "unit": unit,
+        "value": value,
+        "params": params,
+    }
+    if baseline is not None:
+        row["baseline"] = baseline
+        row["baseline_source"] = baseline_source
+        row["speedup"] = value / baseline if baseline else None
+    return row
+
+
+def _best_of(repeats: int, bench, *args, better="max", key=None, **kwargs):
+    """Run ``bench`` ``repeats`` times and keep the best result.
+
+    Benchmarks in one process disturb each other through GC pressure and
+    allocator state; best-of-N is the standard way to approximate the
+    undisturbed number.  ``better`` selects the direction on ``key``.
+    """
+    best = None
+    for _ in range(repeats):
+        gc.collect()
+        result = bench(*args, **kwargs)
+        if result is None:
+            return None
+        if best is None:
+            best = result
+        else:
+            a, b = result[key], best[key]
+            if (better == "max" and a > b) or (better == "min" and a < b):
+                best = result
+    return best
+
+
+def run_all(quick: bool, repeats: Optional[int] = None) -> dict:
+    """Run every benchmark and return the BENCH document."""
+    n_events = 200_000 if quick else 1_000_000
+    n_dispatch = 20_000 if quick else 100_000
+    if repeats is None:
+        repeats = 1 if quick else 3
+    e2e_kwargs = (
+        {"functions": 4, "rate_per_function": 50.0, "duration": 120.0}
+        if quick
+        else {"functions": 8, "rate_per_function": 100.0, "duration": 300.0}
+    )
+    seed_baseline = {}
+    baseline_path = _HERE / "seed_baseline.json"
+    if baseline_path.exists():
+        seed_baseline = json.loads(baseline_path.read_text())
+
+    rows = []
+
+    live = _best_of(repeats, scenarios.bench_event_loop, n_events, key="events_per_sec")
+    base = _best_of(
+        repeats, scenarios.bench_event_loop, n_events,
+        engine_factory=BaselineEngine, key="events_per_sec",
+    )
+    rows.append(
+        _bench_row(
+            "event_loop", "events_per_sec", live["events_per_sec"],
+            base["events_per_sec"], "in-process seed engine copy",
+            {"n_events": n_events},
+        )
+    )
+
+    many = _best_of(repeats, scenarios.bench_schedule_many, n_events, key="events_per_sec")
+    if many is not None:
+        rows.append(
+            _bench_row(
+                "event_loop_schedule_many", "events_per_sec", many["events_per_sec"],
+                base["events_per_sec"], "in-process seed engine copy",
+                {"n_events": n_events},
+            )
+        )
+
+    recorded_dispatch = seed_baseline.get("dispatch", {}).get("dispatches_per_sec")
+    dispatch = _best_of(
+        repeats, scenarios.bench_dispatch, n_dispatch,
+        incremental=True, key="dispatches_per_sec",
+    )
+    rows.append(
+        _bench_row(
+            "dispatch_incremental", "dispatches_per_sec", dispatch["dispatches_per_sec"],
+            None if quick else recorded_dispatch, "recorded seed_baseline.json",
+            {"n_requests": n_dispatch},
+        )
+    )
+    dispatch_legacy = _best_of(
+        repeats, scenarios.bench_dispatch, n_dispatch,
+        incremental=False, key="dispatches_per_sec",
+    )
+    rows.append(
+        _bench_row(
+            "dispatch_explicit_list", "dispatches_per_sec",
+            dispatch_legacy["dispatches_per_sec"],
+            None if quick else recorded_dispatch, "recorded seed_baseline.json",
+            {"n_requests": n_dispatch},
+        )
+    )
+
+    e2e = _best_of(repeats, scenarios.bench_end_to_end, better="min", key="seconds", **e2e_kwargs)
+    recorded_key = "end_to_end_quick" if quick else "end_to_end"
+    recorded_e2e = seed_baseline.get(recorded_key, {}).get("seconds")
+    row = _bench_row(
+        "end_to_end_fig5_style", "wall_seconds", e2e["seconds"],
+        None, None, e2e_kwargs,
+    )
+    if recorded_e2e is not None:
+        row["baseline"] = recorded_e2e
+        row["baseline_source"] = "recorded seed_baseline.json"
+        # lower is better for wall-clock: speedup = baseline / value
+        row["speedup"] = recorded_e2e / e2e["seconds"]
+    row["sim_events_per_sec"] = e2e["sim_events_per_sec"]
+    row["arrivals"] = e2e["arrivals"]
+    rows.append(row)
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "pr": "PR1",
+        "created_unix": time.time(),
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "benchmarks": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI (~15 s)")
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="best-of-N repetitions per benchmark (default: 3 full, 1 quick); "
+        "raise on noisy hosts",
+    )
+    parser.add_argument(
+        "--output", default=str(_REPO / "BENCH_PR1.json"),
+        help="where to write the JSON document (default: repo root BENCH_PR1.json)",
+    )
+    args = parser.parse_args(argv)
+    document = run_all(quick=args.quick, repeats=args.repeats)
+    Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+    for row in document["benchmarks"]:
+        speed = row.get("speedup")
+        speed_text = f"  ({speed:.2f}x vs {row.get('baseline_source', '?')})" if speed else ""
+        print(f"{row['name']:28s} {row['value']:>14,.1f} {row['unit']}{speed_text}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,201 @@
+"""Benchmark scenario definitions.
+
+Each scenario is a plain function that builds its workload through the
+public API only (``SimulationEngine``, ``SharedQueueDispatcher``,
+``SimulationRunner``), so the same scenario code can time the seed
+implementation and every later fast path.  Scenarios return a dict of
+measurements; the harness in :mod:`benchmarks.perf.run_perf` wraps them
+with repetition and JSON output.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+if str(_SRC) not in sys.path:  # allow running as a plain script
+    sys.path.insert(0, str(_SRC))
+
+from repro.cluster.container import Container  # noqa: E402
+from repro.core.dispatch import SharedQueueDispatcher  # noqa: E402
+from repro.sim.engine import SimulationEngine  # noqa: E402
+from repro.sim.request import Request  # noqa: E402
+from repro.simulation import SimulationRunner  # noqa: E402
+from repro.workloads.functions import microbenchmark  # noqa: E402
+from repro.workloads.generator import WorkloadBinding  # noqa: E402
+from repro.workloads.schedules import StaticRate  # noqa: E402
+
+
+def bench_event_loop(
+    n_events: int = 1_000_000,
+    engine_factory: Callable[[], object] = SimulationEngine,
+) -> Dict[str, float]:
+    """Pure schedule + fire of ``n_events`` trivial events.
+
+    Half the events are pre-scheduled up front; the other half form a
+    self-rescheduling chain, which is the pattern the simulator actually
+    produces (completions scheduling the next completion).
+    """
+    engine = engine_factory()
+    # Measure each engine's best fire-and-forget scheduling path: the seed
+    # engine only has schedule(); the fast engine adds args-only call_later.
+    sched = getattr(engine, "call_later", None) or engine.schedule
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    half = n_events // 2
+    start = time.perf_counter()
+    for i in range(half):
+        sched(float(i % 997) + 1.0, tick)
+
+    remaining = [n_events - half]
+
+    def chain() -> None:
+        fired[0] += 1
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sched(0.5, chain)
+
+    engine.schedule(0.25, chain)
+    engine.run()
+    elapsed = time.perf_counter() - start
+    assert fired[0] == n_events, (fired[0], n_events)
+    return {"events": float(n_events), "seconds": elapsed, "events_per_sec": n_events / elapsed}
+
+
+def bench_schedule_many(
+    n_events: int = 1_000_000,
+    engine_factory: Callable[[], object] = SimulationEngine,
+) -> Optional[Dict[str, float]]:
+    """Batch-scheduling throughput via ``schedule_many`` (fast engines only).
+
+    Returns ``None`` when the engine does not expose ``schedule_many``
+    (the seed engine), so the harness can skip the row.
+    """
+    engine = engine_factory()
+    if not hasattr(engine, "schedule_many"):
+        return None
+    fired = [0]
+
+    def tick(t: float) -> None:
+        fired[0] += 1
+
+    start = time.perf_counter()
+    batch = 4096
+    scheduled = 0
+    base = 1.0
+    while scheduled < n_events:
+        count = min(batch, n_events - scheduled)
+        engine.schedule_many((base + i * 1e-6, tick, (base + i * 1e-6,)) for i in range(count))
+        scheduled += count
+        base += 1.0
+        engine.run(until=base - 0.5)
+    engine.run()
+    elapsed = time.perf_counter() - start
+    assert fired[0] == n_events, (fired[0], n_events)
+    return {"events": float(n_events), "seconds": elapsed, "events_per_sec": n_events / elapsed}
+
+
+def bench_dispatch(
+    n_requests: int = 100_000, n_containers: int = 16, incremental: bool = True
+) -> Dict[str, float]:
+    """Dispatcher throughput: submit/complete cycles over warm containers.
+
+    Requests are injected faster than the containers can serve them, so
+    the shared queue is continuously exercised (submit, queue, drain on
+    completion) — the controller data path minus rate estimation.
+
+    ``incremental=True`` uses the cluster-attached idle index (the PR-1
+    fast path) when the dispatcher supports it; ``incremental=False``
+    forces the seed calling convention of passing the container list on
+    every submit.  On the seed dispatcher the flag is ignored.
+    """
+    engine = SimulationEngine()
+    dispatcher = SharedQueueDispatcher(engine)
+    containers = []
+    for _ in range(n_containers):
+        c = Container("fn", "node-0", standard_cpu=1.0, memory_mb=128.0)
+        c.mark_warm(0.0)
+        containers.append(c)
+
+    use_index = incremental and hasattr(dispatcher, "watch_container")
+    if use_index:
+        for c in containers:
+            dispatcher.watch_container(c)
+
+    service = 1e-4
+    gap = service / (n_containers * 2)  # 2x overload: the queue stays busy
+
+    if use_index:
+        def inject(i: int) -> None:
+            dispatcher.submit(Request(function_name="fn", arrival_time=engine.now, work=service))
+    else:
+        def inject(i: int) -> None:
+            dispatcher.submit(
+                Request(function_name="fn", arrival_time=engine.now, work=service), containers
+            )
+
+    start = time.perf_counter()
+    for i in range(n_requests):
+        engine.schedule_at(1.0 + i * gap, inject, i)
+    engine.run()
+    elapsed = time.perf_counter() - start
+    done = sum(c.completed_requests for c in containers)
+    assert done == n_requests, (done, n_requests)
+    return {
+        "requests": float(n_requests),
+        "seconds": elapsed,
+        "dispatches_per_sec": n_requests / elapsed,
+    }
+
+
+def bench_end_to_end(
+    functions: int = 4,
+    rate_per_function: float = 50.0,
+    duration: float = 300.0,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """A Figure 5-style scalability run through the full stack.
+
+    Several identical functions under sustained Poisson load on a larger
+    cluster: arrivals, rate estimation, autoscaling, dispatch, execution
+    and metrics all on the hot path.  Wall-clock seconds and simulated
+    events/sec are the headline numbers.
+    """
+    bindings = []
+    for i in range(functions):
+        profile = replace(microbenchmark(0.05), name=f"bench-fn-{i}")
+        bindings.append(
+            WorkloadBinding(
+                profile=profile,
+                schedule=StaticRate(rate_per_function, duration=duration),
+                slo_deadline=0.1,
+            )
+        )
+    from repro.cluster.cluster import ClusterConfig
+
+    runner = SimulationRunner(
+        workloads=bindings,
+        cluster_config=ClusterConfig(node_count=8, cpu_per_node=8.0),
+        seed=seed,
+        warm_start_containers={b.profile.name: 2 for b in bindings},
+    )
+    start = time.perf_counter()
+    result = runner.run(duration=duration)
+    elapsed = time.perf_counter() - start
+    arrivals = sum(result.generated_requests.values())
+    completions = result.metrics.counters.get("completions", 0)
+    return {
+        "seconds": elapsed,
+        "arrivals": float(arrivals),
+        "completions": float(completions),
+        "sim_events": float(runner.engine.events_processed),
+        "sim_events_per_sec": runner.engine.events_processed / elapsed,
+        "p95_wait": result.waiting_summary(warmup=30.0).p95,
+    }

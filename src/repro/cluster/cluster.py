@@ -112,7 +112,11 @@ class EdgeCluster:
             raise ValueError("cluster must have at least one node")
         self._deployments: Dict[str, FunctionDeployment] = {}
         self._containers: Dict[str, Container] = {}
+        #: per-function index of live containers so hot paths never scan
+        #: the whole cluster (terminated containers are removed eagerly)
+        self._by_function: Dict[str, Dict[str, Container]] = {}
         self._on_container_warm: List[Callable[[Container], None]] = []
+        self._on_container_state: List[Callable[[Container], None]] = []
 
     # ------------------------------------------------------------------
     # Deployments
@@ -193,14 +197,18 @@ class EdgeCluster:
     # ------------------------------------------------------------------
     def containers_of(self, function_name: str, include_draining: bool = True) -> List[Container]:
         """Live containers of a function, sorted by current CPU (smallest first)."""
-        result = [
-            c
-            for c in self._containers.values()
-            if c.function_name == function_name and c.state != ContainerState.TERMINATED
-        ]
-        if not include_draining:
-            result = [c for c in result if c.state != ContainerState.DRAINING]
+        index = self._by_function.get(function_name)
+        if not index:
+            return []
+        if include_draining:
+            result = list(index.values())
+        else:
+            result = [c for c in index.values() if c.state != ContainerState.DRAINING]
         return sorted(result, key=lambda c: (c.current_cpu, c.container_id))
+
+    def has_containers(self, function_name: str) -> bool:
+        """O(1): whether the function has any live container (incl. draining)."""
+        return bool(self._by_function.get(function_name))
 
     def warm_containers_of(self, function_name: str) -> List[Container]:
         """Containers of a function that are warm (dispatchable)."""
@@ -208,7 +216,7 @@ class EdgeCluster:
 
     def all_containers(self) -> List[Container]:
         """All live containers in the cluster."""
-        return [c for c in self._containers.values() if c.state != ContainerState.TERMINATED]
+        return list(self._containers.values())
 
     def get_container(self, container_id: str) -> Optional[Container]:
         """Look up a container by id (returns ``None`` for unknown or terminated)."""
@@ -224,6 +232,24 @@ class EdgeCluster:
     def on_container_warm(self, callback: Callable[[Container], None]) -> None:
         """Register a hook invoked whenever a container finishes its cold start."""
         self._on_container_warm.append(callback)
+
+    def on_container_state(self, callback: Callable[[Container], None]) -> None:
+        """Register a hook invoked after *every* container lifecycle transition.
+
+        This is how derived indexes (the dispatcher's per-function idle
+        sets) stay in sync incrementally instead of rescanning the
+        cluster on each dispatch.
+        """
+        self._on_container_state.append(callback)
+
+    def _container_state_changed(self, container: Container) -> None:
+        if container.state == ContainerState.TERMINATED:
+            self._containers.pop(container.container_id, None)
+            index = self._by_function.get(container.function_name)
+            if index is not None:
+                index.pop(container.container_id, None)
+        for callback in self._on_container_state:
+            callback(container)
 
     # ------------------------------------------------------------------
     # Control operations (what the LaSS controller invokes)
@@ -264,9 +290,9 @@ class EdgeCluster:
             container.deflate_to(cpu)
         node.add_container(container, enforce_cpu=enforce_cpu)
         self._containers[container.container_id] = container
-        self.engine.schedule(
-            self.config.cold_start_latency, self._finish_cold_start, container
-        )
+        self._by_function.setdefault(function_name, {})[container.container_id] = container
+        container.state_observer = self._container_state_changed
+        self.engine.call_later(self.config.cold_start_latency, self._finish_cold_start, container)
         return container
 
     def _finish_cold_start(self, container: Container) -> None:

@@ -90,6 +90,13 @@ class Container:
         self.warm_since: Optional[float] = None
         self.state = ContainerState.STARTING
         self._speed_of_cpu = speed_of_cpu or (lambda fraction: fraction)
+        #: cached speed; the response curve is a pure function of the CPU
+        #: fraction, so it only needs re-evaluating after a resize
+        self._speed: Optional[float] = None
+        #: invoked with the container after every lifecycle transition;
+        #: the owning cluster uses it to keep derived indexes (e.g. the
+        #: dispatcher's idle sets) in sync without scanning.
+        self.state_observer: Optional[Callable[["Container"], None]] = None
 
         self._queue: Deque[Request] = deque()
         self._current: Optional[Request] = None
@@ -114,7 +121,10 @@ class Container:
     @property
     def speed(self) -> float:
         """Relative execution speed (1.0 = standard container)."""
-        return max(1e-9, float(self._speed_of_cpu(self.cpu_fraction)))
+        speed = self._speed
+        if speed is None:
+            speed = self._speed = max(1e-9, float(self._speed_of_cpu(self.cpu_fraction)))
+        return speed
 
     @property
     def effective_service_rate_scale(self) -> float:
@@ -130,6 +140,11 @@ class Container:
     def is_idle(self) -> bool:
         """Warm and with no running or queued request."""
         return self.state == ContainerState.WARM and self._current is None and not self._queue
+
+    @property
+    def is_dispatchable(self) -> bool:
+        """``is_available and is_idle`` in one attribute walk (hot path)."""
+        return self.state is ContainerState.WARM and self._current is None and not self._queue
 
     @property
     def queue_length(self) -> int:
@@ -149,24 +164,32 @@ class Container:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def _notify_state(self) -> None:
+        observer = self.state_observer
+        if observer is not None:
+            observer(self)
+
     def mark_warm(self, time: float) -> None:
         """Finish the cold start; the container can now execute requests."""
         if self.state != ContainerState.STARTING:
             raise ContainerError(f"container {self.container_id} is {self.state.value}, cannot warm")
         self.state = ContainerState.WARM
         self.warm_since = time
+        self._notify_state()
 
     def mark_draining(self) -> None:
         """Lazily mark for termination; existing work drains, no new work accepted."""
         if self.state == ContainerState.TERMINATED:
             raise ContainerError("container already terminated")
         self.state = ContainerState.DRAINING
+        self._notify_state()
 
     def unmark_draining(self) -> None:
         """Rescue a draining container (load rose again before it was reclaimed)."""
         if self.state != ContainerState.DRAINING:
             raise ContainerError("container is not draining")
         self.state = ContainerState.WARM
+        self._notify_state()
 
     def terminate(self, time: float) -> List[Request]:
         """Terminate immediately.  Returns the requests that were dropped."""
@@ -188,6 +211,7 @@ class Container:
             self.busy_time += time - self._busy_since
             self._busy_since = None
         self.state = ContainerState.TERMINATED
+        self._notify_state()
         return dropped
 
     # ------------------------------------------------------------------
@@ -203,6 +227,7 @@ class Container:
         new_cpu = min(self.standard_cpu, max(1e-6, float(cpu)))
         released = self.current_cpu - new_cpu
         self.current_cpu = new_cpu
+        self._speed = None
         return released
 
     def deflate_by(self, ratio: float) -> float:

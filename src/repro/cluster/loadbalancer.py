@@ -45,6 +45,19 @@ class WeightedRoundRobinBalancer:
         eligible = [c for c in containers if c.is_available]
         if not eligible:
             return None
+        if len(eligible) == 1:
+            # forced pick: smooth WRR would add the weight and immediately
+            # subtract the (equal) total, so the scores are unchanged —
+            # skipping the bookkeeping is behaviour-identical and removes
+            # the dominant cost on the single-idle-container fast path
+            only = eligible[0]
+            scores = self._scores.get(function_name)
+            if scores and (len(scores) > 1 or only.container_id not in scores):
+                kept = scores.get(only.container_id)
+                scores.clear()
+                if kept is not None:
+                    scores[only.container_id] = kept
+            return only
         scores = self._scores.setdefault(function_name, {})
         # prune state for containers that no longer exist
         live_ids = {c.container_id for c in eligible}

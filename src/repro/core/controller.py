@@ -147,6 +147,7 @@ class LassController:
         self.config = config or ControllerConfig()
         self.metrics = metrics or MetricsCollector()
         self.dispatcher = SharedQueueDispatcher(engine, on_complete=self._record_completion)
+        self.dispatcher.attach_cluster(cluster)
         self.balancer = self.dispatcher.balancer
         self.invokers = InvokerPool(cluster)
         self.autoscaler = Autoscaler(
@@ -242,19 +243,15 @@ class LassController:
         state.arrivals_this_epoch += 1
         self.metrics.record_request(request)
 
-        containers = self.cluster.warm_containers_of(request.function_name)
-        started = self.dispatcher.submit(request, containers)
-        if not started and not self.cluster.containers_of(request.function_name):
+        started = self.dispatcher.submit(request)
+        if not started and not self.cluster.has_containers(request.function_name):
             # nothing exists yet for this function: get one container started
             self._create_containers(request.function_name, 1)
 
     def _on_container_warm(self, container: Container) -> None:
         if container.function_name not in self._functions:
             return
-        self.dispatcher.drain(
-            container.function_name,
-            self.cluster.warm_containers_of(container.function_name),
-        )
+        self.dispatcher.drain(container.function_name)
 
     def _record_completion(self, request: Request, container: Container) -> None:
         self.metrics.record_completion(request)
@@ -348,7 +345,7 @@ class LassController:
     def _drain_all_queues(self) -> None:
         for name in self._functions:
             if self.dispatcher.queue_length(name):
-                self.dispatcher.drain(name, self.cluster.warm_containers_of(name))
+                self.dispatcher.drain(name)
 
     # -- model-driven decision per function ----------------------------
     def _decide(self, name: str, state: _FunctionState, now: float) -> ScalingDecision:

@@ -14,6 +14,24 @@ exists (chosen by weighted round robin, so larger/faster containers
 take proportionally more of the load when sizes are heterogeneous) and
 otherwise wait in the function's queue; whenever a container finishes a
 request or a new container warms up, the queue is drained.
+
+Fast path
+---------
+When the dispatcher is attached to a cluster
+(:meth:`SharedQueueDispatcher.attach_cluster`), it maintains
+**per-function idle sets incrementally**: containers enter the set when
+they warm up or finish a request with an empty queue, and leave it when
+they receive work, start draining, or terminate (driven by the
+cluster's container state hooks).  ``submit``/``drain`` then take the
+candidate set straight from the index — the seed implementation instead
+rebuilt the idle list with two full cluster scans per dispatched
+request.  Entries are validated lazily at pick time, so code that
+bypasses the dispatcher (tests submitting to containers directly) can
+never corrupt a dispatch, only leave a stale entry to be discarded.
+
+The explicit ``containers=[...]`` calling convention of the seed API is
+still supported for callers that manage their own container lists (the
+baseline controllers and unit tests).
 """
 
 from __future__ import annotations
@@ -25,6 +43,10 @@ from repro.cluster.container import Container
 from repro.cluster.loadbalancer import WeightedRoundRobinBalancer
 from repro.sim.engine import SimulationEngine
 from repro.sim.request import Request, RequestStatus
+
+
+def _idle_sort_key(container: Container):
+    return (container.current_cpu, container.container_id)
 
 
 class SharedQueueDispatcher:
@@ -48,6 +70,88 @@ class SharedQueueDispatcher:
         self.balancer = WeightedRoundRobinBalancer()
         self._queues: Dict[str, Deque[Request]] = {}
         self._on_complete = on_complete
+        # function name -> container id -> container (insertion-ordered)
+        self._idle: Dict[str, Dict[str, Container]] = {}
+        #: True once container state notifications are wired up; without
+        #: them the idle index must stay empty — an unattached dispatcher
+        #: would insert containers on completion but never learn about
+        #: their termination, pinning dead containers forever
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Incremental idle tracking
+    # ------------------------------------------------------------------
+    def attach_cluster(self, cluster) -> None:
+        """Maintain idle sets from the cluster's container state changes.
+
+        After attaching, ``submit``/``drain`` may be called without an
+        explicit container list.  Containers that already exist are
+        indexed immediately.
+        """
+        self._attached = True
+        cluster.on_container_state(self._on_container_state)
+        for container in cluster.all_containers():
+            self._on_container_state(container)
+
+    def watch_container(self, container: Container) -> None:
+        """Track one standalone (cluster-less) container in the idle index.
+
+        For tests and benchmarks that build containers directly; normal
+        code paths use :meth:`attach_cluster`.  Refuses containers that
+        already have a state observer (e.g. cluster-created ones) —
+        overwriting it would silently disconnect the cluster's own
+        terminated-container cleanup.
+        """
+        existing = container.state_observer
+        if existing is not None and existing is not self._on_container_state:
+            raise ValueError(
+                f"container {container.container_id} already has a state observer "
+                "(cluster-created containers are tracked via attach_cluster)"
+            )
+        self._attached = True
+        container.state_observer = self._on_container_state
+        self._on_container_state(container)
+
+    def _on_container_state(self, container: Container) -> None:
+        if container.is_dispatchable:
+            self._idle.setdefault(container.function_name, {})[container.container_id] = container
+        else:
+            index = self._idle.get(container.function_name)
+            if index is not None:
+                index.pop(container.container_id, None)
+
+    def _mark_busy(self, container: Container) -> None:
+        index = self._idle.get(container.function_name)
+        if index is not None:
+            index.pop(container.container_id, None)
+
+    def _mark_idle_if_free(self, container: Container) -> None:
+        if not self._attached:
+            return
+        if container.is_dispatchable:
+            self._idle.setdefault(container.function_name, {})[container.container_id] = container
+        else:
+            self._mark_busy(container)
+
+    def _idle_candidates(self, function_name: str) -> List[Container]:
+        """Validated idle containers of a function, in the seed's sort order."""
+        index = self._idle.get(function_name)
+        if not index:
+            return []
+        if len(index) == 1:  # the common steady-state case: skip the sort
+            (cid, container), = index.items()
+            if container.is_dispatchable:
+                return [container]
+            del index[cid]
+            return []
+        stale = [
+            cid for cid, c in index.items() if not (c.is_dispatchable)
+        ]
+        for cid in stale:
+            del index[cid]
+        if not index:
+            return []
+        return sorted(index.values(), key=_idle_sort_key)
 
     # ------------------------------------------------------------------
     # Queue state
@@ -67,23 +171,33 @@ class SharedQueueDispatcher:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def submit(self, request: Request, containers: Sequence[Container]) -> bool:
+    def submit(self, request: Request, containers: Optional[Sequence[Container]] = None) -> bool:
         """Dispatch a new request.
 
-        Returns ``True`` if it started on an idle container immediately,
-        ``False`` if it was queued.
+        With ``containers=None`` the incremental idle index is used
+        (requires :meth:`attach_cluster`); passing an explicit container
+        list preserves the seed behaviour of filtering it on the spot.
+
+        Returns ``True`` if the request started on an idle container
+        immediately, ``False`` if it was queued.
         """
-        idle = [c for c in containers if c.is_available and c.is_idle]
+        if containers is None:
+            idle = self._idle_candidates(request.function_name)
+        else:
+            idle = [c for c in containers if c.is_dispatchable]
         chosen = self.balancer.pick(request.function_name, idle) if idle else None
         if chosen is None:
-            queue = self._queues.setdefault(request.function_name, deque())
+            queue = self._queues.get(request.function_name)
+            if queue is None:
+                queue = self._queues[request.function_name] = deque()
             request.mark_queued()
             queue.append(request)
             return False
+        self._mark_busy(chosen)
         chosen.submit(request, self.engine, self._completion_hook)
         return True
 
-    def drain(self, function_name: str, containers: Sequence[Container]) -> int:
+    def drain(self, function_name: str, containers: Optional[Sequence[Container]] = None) -> int:
         """Move as many queued requests as possible onto idle containers.
 
         Returns the number of requests that started executing.
@@ -91,8 +205,11 @@ class SharedQueueDispatcher:
         queue = self._queues.get(function_name)
         if not queue:
             return 0
+        if containers is None:
+            idle = self._idle_candidates(function_name)
+        else:
+            idle = [c for c in containers if c.is_dispatchable]
         started = 0
-        idle = [c for c in containers if c.is_available and c.is_idle]
         while queue and idle:
             request = queue.popleft()
             if request.status is not RequestStatus.QUEUED:
@@ -101,6 +218,7 @@ class SharedQueueDispatcher:
             if chosen is None:  # pragma: no cover - idle is non-empty
                 queue.appendleft(request)
                 break
+            self._mark_busy(chosen)
             chosen.submit(request, self.engine, self._completion_hook)
             idle = [c for c in idle if c.is_idle]
             started += 1
@@ -122,11 +240,12 @@ class SharedQueueDispatcher:
             self._on_complete(request, container)
         # the container just went idle: pull the next queued request onto it
         queue = self._queues.get(request.function_name)
-        while queue and container.is_available and container.is_idle:
+        while queue and container.is_dispatchable:
             next_request = queue.popleft()
             if next_request.status is not RequestStatus.QUEUED:
                 continue
             container.submit(next_request, self.engine, self._completion_hook)
+        self._mark_idle_if_free(container)
 
 
 __all__ = ["SharedQueueDispatcher"]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -125,7 +126,9 @@ class StreamingQuantile:
         self.max_samples = int(max_samples)
         self._sorted: List[float] = []
         self._count = 0
-        self._rng = np.random.default_rng(seed)
+        # stdlib RNG: an order of magnitude cheaper per draw than a numpy
+        # Generator for scalar uniforms, and this sits on the completion path
+        self._rng = random.Random(seed)
 
     @property
     def count(self) -> int:
@@ -141,10 +144,13 @@ class StreamingQuantile:
         if len(self._sorted) < self.max_samples:
             bisect.insort(self._sorted, value)
         else:
-            # reservoir sampling: replace a random element with probability k/n
-            j = self._rng.integers(0, self._count)
-            if j < self.max_samples:
-                self._sorted.pop(int(self._rng.integers(0, len(self._sorted))))
+            # reservoir sampling: replace a random element with probability
+            # k/n.  A single uniform draw decides acceptance (acceptance
+            # probability shrinks as 1/n, so the common case is one cheap
+            # comparison per observation — this sits on the per-completion
+            # hot path via OnlineServiceTimeEstimator.observe).
+            if self._rng.random() * self._count < self.max_samples:
+                self._sorted.pop(int(self._rng.random() * len(self._sorted)))
                 bisect.insort(self._sorted, value)
 
     def quantile(self, q: float) -> float:
@@ -170,15 +176,22 @@ class OnlineServiceTimeEstimator:
     of the standard size) so that deflated and standard containers
     contribute to separate estimates, which is what the deflation policy
     needs (§5).
+
+    The default reservoir of 1024 samples per bucket keeps the mean and
+    the 95th/99th percentiles well within the noise floor of the
+    simulated service-time distributions while bounding the fill-phase
+    ``insort`` cost, which sits on the per-completion hot path.
     """
 
-    def __init__(self, bucket_width: float = 0.1, max_samples_per_bucket: int = 4096) -> None:
+    def __init__(self, bucket_width: float = 0.1, max_samples_per_bucket: int = 1024) -> None:
         if not 0 < bucket_width <= 1:
             raise ValueError("bucket_width must be in (0, 1]")
         self.bucket_width = float(bucket_width)
         self.max_samples_per_bucket = int(max_samples_per_bucket)
         self._buckets: Dict[int, StreamingQuantile] = {}
-        self._totals: Dict[int, Tuple[int, float]] = {}
+        # [count, total] mutated in place (a fresh tuple per observation
+        # showed up in hot-path profiles)
+        self._totals: Dict[int, List[float]] = {}
 
     def _bucket(self, cpu_fraction: float) -> int:
         if cpu_fraction <= 0:
@@ -190,12 +203,14 @@ class OnlineServiceTimeEstimator:
         if service_time < 0:
             raise ValueError("service_time must be non-negative")
         key = self._bucket(cpu_fraction)
-        if key not in self._buckets:
-            self._buckets[key] = StreamingQuantile(self.max_samples_per_bucket)
-            self._totals[key] = (0, 0.0)
-        self._buckets[key].add(service_time)
-        count, total = self._totals[key]
-        self._totals[key] = (count + 1, total + service_time)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = StreamingQuantile(self.max_samples_per_bucket)
+            self._totals[key] = [0, 0.0]
+        bucket.add(service_time)
+        totals = self._totals[key]
+        totals[0] += 1
+        totals[1] += service_time
 
     def observations(self, cpu_fraction: float = 1.0) -> int:
         """Number of observations for the bucket containing ``cpu_fraction``."""

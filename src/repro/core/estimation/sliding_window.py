@@ -7,39 +7,129 @@ using the long window, but when there is a burst, i.e., if the arrival
 rate in the short window is twice as high as the arrival rate in the
 long window, LaSS switches to calculating the arrival rate based on the
 short window."
+
+Implementation
+--------------
+:class:`SlidingWindowCounter` is a **bucketized ring buffer**: arrivals
+are aggregated into fixed-width time buckets (by default the paper's
+5-second sampling granularity, clamped to half the window), so
+
+* :meth:`SlidingWindowCounter.record` is O(1) amortised — one array
+  increment, never a per-event deque append;
+* memory is **constant** per window (``window / bucket + 1`` bucket
+  counts), where the seed implementation kept one float per arrival —
+  O(arrival rate × window) under bursts;
+* :meth:`SlidingWindowCounter.count` sums a constant number of buckets.
+
+The price is bucket-granularity eviction: a query at time ``now``
+counts whole buckets overlapping ``(now − window, now]``, including the
+oldest partially-overlapping one.  Queries aligned to bucket boundaries
+(the controller samples every 5 s, so all its queries are aligned) are
+exact up to events lying exactly on a boundary; unaligned queries
+over-approximate by up to one bucket of history — never under-count,
+so a burst can only be detected slightly early, not missed.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import math
 from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from typing import List, Optional, Tuple
+
+#: The paper's rate-sampling granularity; default bucket width.
+DEFAULT_BUCKET_SECONDS = 5.0
 
 
 class SlidingWindowCounter:
-    """Counts events whose timestamps fall within a trailing window."""
+    """Counts events whose timestamps fall within a trailing window.
 
-    def __init__(self, window_length: float) -> None:
+    Parameters
+    ----------
+    window_length:
+        Length of the trailing window in seconds.
+    bucket_width:
+        Aggregation granularity; defaults to 5 s (the paper's sampling
+        interval) clamped to ``window_length / 2`` so even short windows
+        get at least two buckets.
+    """
+
+    def __init__(self, window_length: float, bucket_width: Optional[float] = None) -> None:
         if window_length <= 0:
             raise ValueError("window length must be positive")
         self.window_length = float(window_length)
-        self._events: Deque[float] = deque()
+        if bucket_width is None:
+            bucket_width = min(DEFAULT_BUCKET_SECONDS, self.window_length / 2.0)
+        if bucket_width <= 0:
+            raise ValueError("bucket width must be positive")
+        if bucket_width > self.window_length:
+            raise ValueError("bucket width cannot exceed the window length")
+        self.bucket_width = float(bucket_width)
+        # enough buckets to cover the window plus the partially-filled
+        # current bucket
+        self._n_buckets = int(math.ceil(self.window_length / self.bucket_width)) + 1
+        self._counts: List[int] = [0] * self._n_buckets
+        #: absolute index (timestamp // bucket_width) of the newest bucket,
+        #: or None before the first event
+        self._head: Optional[int] = None
+        self._last_timestamp = -math.inf
+
+    def _advance(self, index: int) -> None:
+        """Move the head forward to absolute bucket ``index``, zeroing gaps."""
+        head = self._head
+        if head is None:
+            self._counts = [0] * self._n_buckets
+            self._head = index
+            return
+        if index <= head:
+            return
+        steps = index - head
+        n = self._n_buckets
+        counts = self._counts
+        if steps >= n:
+            for i in range(n):
+                counts[i] = 0
+        else:
+            for i in range(head + 1, index + 1):
+                counts[i % n] = 0
+        self._head = index
 
     def record(self, timestamp: float) -> None:
         """Record one event at ``timestamp`` (timestamps must be non-decreasing)."""
-        if self._events and timestamp < self._events[-1] - 1e-9:
+        timestamp = float(timestamp)
+        if timestamp < self._last_timestamp - 1e-9:
             raise ValueError("timestamps must be non-decreasing")
-        self._events.append(float(timestamp))
-
-    def _evict(self, now: float) -> None:
-        cutoff = now - self.window_length
-        while self._events and self._events[0] <= cutoff:
-            self._events.popleft()
+        self._last_timestamp = timestamp
+        index = int(timestamp // self.bucket_width)
+        head = self._head
+        if head is not None and index <= head - self._n_buckets:
+            # a count()/rate() query already advanced the ring past this
+            # bucket; writing would alias a *newer* slot and fabricate
+            # phantom events inside the current window — the event is
+            # outside any window that advanced the head, so drop it
+            return
+        self._advance(index)
+        self._counts[index % self._n_buckets] += 1
 
     def count(self, now: float) -> int:
-        """Number of events in ``(now − window, now]``."""
-        self._evict(now)
-        return len(self._events)
+        """Number of events in buckets overlapping ``(now − window, now]``."""
+        head = self._head
+        if head is None:
+            return 0
+        newest = int(now // self.bucket_width)
+        self._advance(newest)
+        head = self._head
+        oldest_kept = head - self._n_buckets + 1
+        # floor: the oldest *partially* covered bucket is included, so an
+        # unaligned query over-approximates (never misses in-window events —
+        # under-counting the short window would delay burst detection)
+        first = int(math.floor((now - self.window_length) / self.bucket_width))
+        first = max(first, oldest_kept)
+        last = min(newest, head)
+        if last < first:
+            return 0
+        counts = self._counts
+        n = self._n_buckets
+        return sum(counts[i % n] for i in range(first, last + 1))
 
     def rate(self, now: float, elapsed: Optional[float] = None) -> float:
         """Arrival rate over the window (events per second).
@@ -47,15 +137,16 @@ class SlidingWindowCounter:
         ``elapsed`` caps the divisor for the start-up transient when less
         than a full window of history exists.
         """
-        self._evict(now)
         horizon = self.window_length
         if elapsed is not None:
             horizon = min(horizon, max(elapsed, 1e-9))
-        return len(self._events) / horizon
+        return self.count(now) / horizon
 
     def clear(self) -> None:
         """Drop all recorded events."""
-        self._events.clear()
+        self._counts = [0] * self._n_buckets
+        self._head = None
+        self._last_timestamp = -math.inf
 
 
 @dataclass
@@ -81,6 +172,9 @@ class DualWindowRateEstimator:
     burst_factor:
         Burst threshold: the short-window rate must be at least this
         multiple of the long-window rate (paper: 2×).
+    bucket_width:
+        Aggregation granularity of both windows (paper samples every 5 s;
+        clamped per window, see :class:`SlidingWindowCounter`).
     """
 
     def __init__(
@@ -88,13 +182,14 @@ class DualWindowRateEstimator:
         long_window: float = 120.0,
         short_window: float = 10.0,
         burst_factor: float = 2.0,
+        bucket_width: Optional[float] = None,
     ) -> None:
         if short_window >= long_window:
             raise ValueError("short window must be shorter than the long window")
         if burst_factor <= 1.0:
             raise ValueError("burst factor must exceed 1")
-        self.long = SlidingWindowCounter(long_window)
-        self.short = SlidingWindowCounter(short_window)
+        self.long = SlidingWindowCounter(long_window, bucket_width)
+        self.short = SlidingWindowCounter(short_window, bucket_width)
         self.burst_factor = float(burst_factor)
         self._start_time: Optional[float] = None
         self._last_observation: Optional[RateObservation] = None
@@ -131,4 +226,9 @@ class DualWindowRateEstimator:
         return self.long.rate(now, elapsed), self.short.rate(now, elapsed)
 
 
-__all__ = ["SlidingWindowCounter", "DualWindowRateEstimator", "RateObservation"]
+__all__ = [
+    "SlidingWindowCounter",
+    "DualWindowRateEstimator",
+    "RateObservation",
+    "DEFAULT_BUCKET_SECONDS",
+]

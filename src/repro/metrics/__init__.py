@@ -12,11 +12,15 @@ all of which this package computes from the simulation:
 from repro.metrics.collector import MetricsCollector, EpochSnapshot, FunctionEpochStats
 from repro.metrics.percentiles import percentile, summarize_waiting_times, WaitingTimeSummary
 from repro.metrics.slo import SloReport, slo_report
+from repro.metrics.streaming import P2Quantile, ReservoirQuantiles, StreamingSummary
 from repro.metrics.utilization import UtilizationTracker, time_weighted_mean
 from repro.metrics.timeline import AllocationTimeline, TimelinePoint
 
 __all__ = [
     "MetricsCollector",
+    "P2Quantile",
+    "ReservoirQuantiles",
+    "StreamingSummary",
     "EpochSnapshot",
     "FunctionEpochStats",
     "percentile",

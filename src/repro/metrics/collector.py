@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.metrics.percentiles import WaitingTimeSummary, summarize_waiting_times
 from repro.metrics.slo import SloReport, slo_report
+from repro.metrics.streaming import StreamingSummary
 from repro.metrics.timeline import AllocationTimeline, TimelinePoint
 from repro.metrics.utilization import UtilizationTracker
 from repro.sim.request import Request, RequestStatus
@@ -49,21 +50,56 @@ class EpochSnapshot:
 
 
 class MetricsCollector:
-    """Accumulates everything an experiment needs to report."""
+    """Accumulates everything an experiment needs to report.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    streaming_percentiles:
+        Opt-in constant-memory mode for very long runs: completed
+        requests feed streaming summaries
+        (:class:`~repro.metrics.streaming.StreamingSummary`, one global
+        plus one per function) instead of relying on the stored request
+        list for percentile queries.  :meth:`waiting_summary` then
+        answers from the streaming state (``warmup`` is not supported in
+        this mode).  Default off — behaviour is unchanged.
+    store_requests:
+        Whether to keep every :class:`Request` object.  Turn off
+        together with ``streaming_percentiles=True`` so a multi-million
+        request replay holds O(1) metric state instead of every request;
+        :meth:`completed_requests` / :meth:`dropped_requests` /
+        :meth:`slo` then see only the requests recorded while storage
+        was on (i.e. none).
+    """
+
+    def __init__(
+        self,
+        streaming_percentiles: bool = False,
+        store_requests: bool = True,
+    ) -> None:
+        if not store_requests and not streaming_percentiles:
+            raise ValueError(
+                "store_requests=False requires streaming_percentiles=True, "
+                "otherwise no waiting-time statistics would survive"
+            )
         self.requests: List[Request] = []
         self.timeline = AllocationTimeline()
         self.utilization = UtilizationTracker()
         self.epochs: List[EpochSnapshot] = []
         self.counters: Counter = Counter()
+        self.streaming_percentiles = bool(streaming_percentiles)
+        self.store_requests = bool(store_requests)
+        self._streaming_all: Optional[StreamingSummary] = (
+            StreamingSummary() if streaming_percentiles else None
+        )
+        self._streaming_by_function: Dict[str, StreamingSummary] = {}
 
     # ------------------------------------------------------------------
     # Request lifecycle
     # ------------------------------------------------------------------
     def record_request(self, request: Request) -> None:
         """Register a request (typically at arrival; its fields keep updating)."""
-        self.requests.append(request)
+        if self.store_requests:
+            self.requests.append(request)
         self.counters["arrivals"] += 1
 
     def record_completion(self, request: Request) -> None:
@@ -71,6 +107,16 @@ class MetricsCollector:
         self.counters["completions"] += 1
         if request.cold_start:
             self.counters["cold_starts"] += 1
+        if self._streaming_all is not None:
+            wait = request.waiting_time
+            if wait is not None:
+                self._streaming_all.add(wait)
+                per_function = self._streaming_by_function.get(request.function_name)
+                if per_function is None:
+                    per_function = self._streaming_by_function[request.function_name] = (
+                        StreamingSummary()
+                    )
+                per_function.add(wait)
 
     def record_drop(self, count: int = 1) -> None:
         """Count dropped requests (terminated containers, failed nodes)."""
@@ -123,7 +169,23 @@ class MetricsCollector:
     def waiting_summary(
         self, function_name: Optional[str] = None, warmup: float = 0.0
     ) -> WaitingTimeSummary:
-        """Waiting-time percentiles for (a function's) completed requests."""
+        """Waiting-time percentiles for (a function's) completed requests.
+
+        In streaming mode the summary comes from the P² estimators
+        (constant memory, no warmup filtering); otherwise it is computed
+        exactly from the stored requests.
+        """
+        if self.streaming_percentiles:
+            if warmup:
+                raise ValueError(
+                    "warmup filtering requires stored requests; "
+                    "construct the collector with streaming_percentiles=False"
+                )
+            if function_name is None:
+                assert self._streaming_all is not None
+                return self._streaming_all.summary()
+            per_function = self._streaming_by_function.get(function_name)
+            return per_function.summary() if per_function is not None else StreamingSummary().summary()
         return summarize_waiting_times(self.requests, function_name, warmup)
 
     def slo(

@@ -17,10 +17,24 @@ from repro.sim.request import Request, RequestStatus
 
 
 def percentile(values: Sequence[float], p: float) -> float:
-    """The ``p``-th percentile (``p`` in (0, 1)) of a non-empty sequence."""
+    """The ``p``-th percentile (``p`` in (0, 1)) of a non-empty sequence.
+
+    Accepts any ndarray, sequence, or iterable of numbers.  An ndarray
+    input is used as-is (no copy unless a dtype conversion is needed);
+    sequences are converted with a single ``asarray`` pass — the seed
+    implementation materialised ``list(values)`` first, copying every
+    ndarray or list input twice.
+    """
     if not 0 < p < 1:
         raise ValueError("p must be in (0, 1)")
-    arr = np.asarray(list(values), dtype=float)
+    if isinstance(values, np.ndarray):
+        arr = values if values.dtype == float else values.astype(float)
+    else:
+        try:
+            arr = np.asarray(values, dtype=float)
+        except (TypeError, ValueError):
+            # a lazy iterable (generator, map, ...): single-pass conversion
+            arr = np.fromiter(values, dtype=float)
     if arr.size == 0:
         raise ValueError("cannot take a percentile of an empty sequence")
     return float(np.quantile(arr, p))

@@ -1,0 +1,245 @@
+"""Streaming (constant-memory) percentile estimation for long runs.
+
+The default :class:`~repro.metrics.collector.MetricsCollector` keeps
+every :class:`~repro.sim.request.Request` so experiments can slice the
+distribution arbitrarily.  For trace replays with millions of requests
+that is gigabytes of objects; the collector's opt-in streaming mode
+instead feeds each completed request's waiting time into a
+:class:`StreamingSummary` — running moments plus a bounded quantile
+sketch — and drops the request.
+
+Two sketches are provided:
+
+* :class:`P2Quantile` — the P² algorithm (Jain & Chlamtac, CACM 1985):
+  five markers per quantile, O(1) memory, piecewise-parabolic marker
+  updates.  Excellent for *continuous* distributions, but its local
+  updates cannot cross a heavy atom: simulated waiting times are
+  typically >50 % exact zeros (requests that started on an idle
+  container), and with that much point mass below the tracked quantile
+  the marker gets stranded orders of magnitude below the true p95
+  (observed on real runs).  Exported for continuous-valued streams.
+* :class:`ReservoirQuantiles` — a deterministic fixed-size reservoir
+  (Vitter's algorithm R with a seeded stdlib RNG): constant memory,
+  exact handling of atoms and arbitrary query quantiles, accuracy
+  limited only by sampling error (±~0.3 % of rank at the default 4096
+  samples).  This is what :class:`StreamingSummary` uses.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.metrics.percentiles import WaitingTimeSummary
+
+
+class P2Quantile:
+    """P² streaming estimator of a single quantile.
+
+    Parameters
+    ----------
+    p:
+        The tracked quantile, in (0, 1) — e.g. 0.95.
+    """
+
+    __slots__ = ("p", "_heights", "_positions", "_desired", "_increments", "_count")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        self.p = float(p)
+        self._heights: List[float] = []   # marker heights (the first 5 observations, then q_i)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of observations seen."""
+        return self._count
+
+    def add(self, value: float) -> None:
+        """Feed one observation."""
+        value = float(value)
+        self._count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(value)
+            if len(heights) == 5:
+                heights.sort()
+            return
+
+        # locate the cell k such that q[k] <= value < q[k+1]
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 0
+            while k < 3 and value >= heights[k + 1]:
+                k += 1
+
+        positions = self._positions
+        for i in range(k + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._increments[i]
+
+        # adjust the three middle markers with the P2 parabolic formula
+        for i in (1, 2, 3):
+            n_i = positions[i]
+            delta = desired[i] - n_i
+            n_prev = positions[i - 1]
+            n_next = positions[i + 1]
+            if (delta >= 1.0 and n_next - n_i > 1.0) or (delta <= -1.0 and n_prev - n_i < -1.0):
+                step = 1.0 if delta >= 1.0 else -1.0
+                q_i = heights[i]
+                q_prev = heights[i - 1]
+                q_next = heights[i + 1]
+                # piecewise-parabolic prediction
+                candidate = q_i + step / (n_next - n_prev) * (
+                    (n_i - n_prev + step) * (q_next - q_i) / (n_next - n_i)
+                    + (n_next - n_i - step) * (q_i - q_prev) / (n_i - n_prev)
+                )
+                if q_prev < candidate < q_next:
+                    heights[i] = candidate
+                else:  # parabolic prediction left the cell: fall back to linear
+                    if step > 0:
+                        heights[i] = q_i + step * (q_next - q_i) / (n_next - n_i)
+                    else:
+                        heights[i] = q_i + step * (q_prev - q_i) / (n_prev - n_i)
+                positions[i] = n_i + step
+
+    def value(self) -> float:
+        """The current quantile estimate (exact while fewer than 5 samples)."""
+        if self._count == 0:
+            return 0.0
+        heights = self._heights
+        if len(heights) < 5:
+            ordered = sorted(heights)
+            # nearest-rank on the tiny prefix
+            rank = min(len(ordered) - 1, max(0, round(self.p * (len(ordered) - 1))))
+            return ordered[int(rank)]
+        return heights[2]
+
+
+class ReservoirQuantiles:
+    """Deterministic bounded-size uniform sample with quantile queries.
+
+    Algorithm R with a seeded stdlib RNG: every observation is retained
+    while the reservoir is filling; afterwards observation ``n`` replaces
+    a random resident with probability ``k/n``.  The sample stays sorted
+    so quantile queries are a single interpolation.  Unlike P², atoms
+    (e.g. the zero-wait spike of idle-container hits) are represented
+    with their true mass.
+    """
+
+    __slots__ = ("max_samples", "_sorted", "_count", "_rng")
+
+    def __init__(self, max_samples: int = 4096, seed: int = 2029) -> None:
+        if max_samples < 10:
+            raise ValueError("max_samples must be at least 10")
+        self.max_samples = int(max_samples)
+        self._sorted: List[float] = []
+        self._count = 0
+        self._rng = random.Random(seed)
+
+    @property
+    def count(self) -> int:
+        """Total observations seen (not the reservoir size)."""
+        return self._count
+
+    def add(self, value: float) -> None:
+        """Feed one observation."""
+        self._count += 1
+        if len(self._sorted) < self.max_samples:
+            bisect.insort(self._sorted, value)
+        elif self._rng.random() * self._count < self.max_samples:
+            self._sorted.pop(int(self._rng.random() * len(self._sorted)))
+            bisect.insort(self._sorted, value)
+
+    def quantile(self, p: float) -> float:
+        """The ``p``-th quantile of the observations seen so far."""
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        if not self._sorted:
+            return 0.0
+        return float(np.quantile(self._sorted, p))
+
+
+class StreamingSummary:
+    """Constant-memory replacement for a stored-sample waiting-time summary.
+
+    Tracks count / mean / min / max exactly and answers quantile queries
+    from one shared :class:`ReservoirQuantiles` sketch (robust to the
+    zero-wait atom that breaks P² — see the module docstring).
+    """
+
+    QUANTILES = (0.5, 0.90, 0.95, 0.99)
+
+    __slots__ = ("_count", "_mean", "_min", "_max", "_reservoir")
+
+    #: 16 k samples ≈ 128 KB: rank error ±0.17 % at p95, which matters when
+    #: the wait CDF is nearly flat around the tracked percentile (large
+    #: value jumps for small rank errors, as in overloaded scenarios)
+    DEFAULT_MAX_SAMPLES = 16384
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._min = 0.0
+        self._max = 0.0
+        self._reservoir = ReservoirQuantiles(max_samples)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    def add(self, value: float) -> None:
+        """Feed one observation (running moments + the quantile sketch)."""
+        value = float(value)
+        self._count += 1
+        if self._count == 1:
+            self._min = self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        self._mean += (value - self._mean) / self._count
+        self._reservoir.add(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Feed many observations."""
+        for value in values:
+            self.add(value)
+
+    def quantile(self, p: float) -> float:
+        """Current estimate of any quantile in (0, 1)."""
+        return self._reservoir.quantile(p)
+
+    def summary(self) -> WaitingTimeSummary:
+        """Render as the same record the stored-sample path produces."""
+        if self._count == 0:
+            return WaitingTimeSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return WaitingTimeSummary(
+            count=self._count,
+            mean=self._mean,
+            median=self.quantile(0.5),
+            p90=self.quantile(0.90),
+            p95=self.quantile(0.95),
+            p99=self.quantile(0.99),
+            maximum=self._max,
+            minimum=self._min,
+        )
+
+
+__all__ = ["P2Quantile", "ReservoirQuantiles", "StreamingSummary"]

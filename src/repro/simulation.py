@@ -87,6 +87,17 @@ class SimulationRunner:
         Per-function number of containers to create before the workload
         starts, so experiments that study steady-state behaviour do not
         measure the very first cold start.
+    arrival_batch_size:
+        Arrivals scheduled per engine batch by each generator (see
+        :class:`~repro.workloads.generator.ArrivalGenerator`); results
+        are independent of this value because each function gets
+        separate arrival and work RNG streams.  ``1`` reproduces the
+        seed's per-event cadence and is used by the determinism
+        regression test.
+    metrics:
+        Optional pre-built collector — pass
+        ``MetricsCollector(streaming_percentiles=True, store_requests=False)``
+        to keep constant-memory P² percentiles on very long runs.
     """
 
     def __init__(
@@ -98,6 +109,8 @@ class SimulationRunner:
         seed: int = 1,
         use_offline_profiles: bool = True,
         warm_start_containers: Optional[Mapping[str, int]] = None,
+        arrival_batch_size: int = 256,
+        metrics: Optional[MetricsCollector] = None,
     ) -> None:
         if not workloads:
             raise ValueError("at least one workload binding is required")
@@ -108,7 +121,10 @@ class SimulationRunner:
         self.engine = SimulationEngine()
         self.rng = RngStreams(seed)
         self.cluster = EdgeCluster(self.engine, cluster_config or ClusterConfig())
-        self.metrics = MetricsCollector()
+        # pass e.g. MetricsCollector(streaming_percentiles=True,
+        # store_requests=False) so multi-million-request replays hold O(1)
+        # metric state instead of every Request object
+        self.metrics = metrics if metrics is not None else MetricsCollector()
         self.bindings = list(workloads)
 
         profiles: Dict[str, ServiceTimeProfile] = {}
@@ -143,6 +159,8 @@ class SimulationRunner:
                 dispatch=self.controller.dispatch,
                 rng=self.rng.stream(f"arrivals:{binding.profile.name}"),
                 slo_deadline=binding.slo_deadline,
+                batch_size=arrival_batch_size,
+                work_rng=self.rng.stream(f"work:{binding.profile.name}"),
             )
             self.generators.append(generator)
 
@@ -252,6 +270,7 @@ def run_fixed_allocation(
         rng=rng.stream(f"arrivals:{binding.profile.name}"),
         slo_deadline=binding.slo_deadline,
         horizon=duration,
+        work_rng=rng.stream(f"work:{binding.profile.name}"),
     )
     generator.start()
     engine.run(until=duration + 5.0)

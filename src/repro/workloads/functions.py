@@ -145,10 +145,29 @@ class FunctionProfile:
         """Mean service time when the container runs at ``cpu_fraction`` of standard CPU."""
         return self.mean_service_time / self.speed_curve()(cpu_fraction)
 
+    def _work_dist(self):
+        dist = self.__dict__.get("_work_distribution")
+        if dist is None:
+            # cache the scaled distribution: building it per request put an
+            # object allocation on the per-arrival hot path
+            scale = self.mean_service_time / self.distribution.mean
+            dist = self.distribution.scaled(scale)
+            self.__dict__["_work_distribution"] = dist
+        return dist
+
     def sample_work(self, rng: np.random.Generator) -> float:
         """Sample the work of one request, in standard-container seconds."""
-        scale = self.mean_service_time / self.distribution.mean
-        return float(self.distribution.scaled(scale).sample(rng))
+        return float(self._work_dist().sample(rng))
+
+    def sample_work_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Vectorized :meth:`sample_work` for a batch of requests.
+
+        Consumes the RNG stream identically to ``count`` scalar calls
+        (numpy generators draw element-wise from the same bit stream), so
+        batched and per-request sampling are interchangeable without
+        changing a seeded run's realisation.
+        """
+        return self._work_dist().sample(rng, size=count)
 
     def to_deployment(
         self,

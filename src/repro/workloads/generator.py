@@ -6,6 +6,25 @@ from a (possibly time-varying) Poisson process via thinning, creates
 :class:`~repro.sim.request.Request` objects with per-request work drawn
 from the function's service-time distribution, and hands them to the
 controller's ``dispatch``.
+
+Fast path
+---------
+Arrival sampling is vectorized: a :class:`_ThinningSampler` draws
+``(gap, accept)`` uniform pairs from the RNG in fixed-size chunks,
+converts them to candidate times with one ``cumsum`` per thinning
+window, thins the whole candidate batch against ``rate_many``, and the
+generator injects each batch of accepted arrivals through the engine's
+``schedule_many`` — one numpy pass plus one batch call instead of one
+RNG draw and one engine event per arrival.
+
+The sampler's RNG consumption is a pure function of the schedule and
+the chunk size — it does not depend on ``batch_size`` (how many
+arrivals the generator schedules per engine batch).  Combined with a
+dedicated ``work_rng`` stream for per-request work, a run's arrival
+*and* work realisations are identical for every ``batch_size``,
+including the ``batch_size=1`` per-event mode that mirrors the seed
+implementation's one-event-per-arrival cadence.  The determinism
+regression test relies on exactly this property.
 """
 
 from __future__ import annotations
@@ -32,6 +51,98 @@ class WorkloadBinding:
     user: str = "default"
 
 
+class _ThinningSampler:
+    """Vectorized non-homogeneous Poisson sampling by thinning.
+
+    For each thinning window ``[w, w + W)`` (clipped to the horizon) with
+    rate bound ``B = max_rate(w, w + W)``, candidate arrivals are the
+    cumulative sums of ``Exp(B)`` gaps; each candidate at time ``t`` is
+    accepted with probability ``rate(t) / B``.  Every candidate consumes
+    exactly one ``(gap, accept)`` uniform pair — including the candidate
+    that overshoots the window — so RNG consumption depends only on the
+    pair stream itself, never on how many arrivals a caller requests per
+    :meth:`next_arrivals` call.
+    """
+
+    def __init__(
+        self,
+        schedule: RateSchedule,
+        rng: np.random.Generator,
+        start: float,
+        horizon: Optional[float],
+        thinning_window: float,
+        chunk: int = 256,
+    ) -> None:
+        self.schedule = schedule
+        self.rng = rng
+        self.horizon = horizon
+        self.window = float(thinning_window)
+        self.chunk = int(chunk)
+        self._t = float(start)
+        self._window_end: Optional[float] = None
+        self._bound = 0.0
+        self._pairs = np.empty((0, 2))
+        self._pos = 0
+        self.exhausted = False
+
+    def _refill(self) -> None:
+        self._pairs = self.rng.random((self.chunk, 2))
+        self._pos = 0
+
+    def next_arrivals(self, max_count: int) -> List[float]:
+        """Return at least ``max_count`` arrivals if any remain (may overshoot).
+
+        Returns an empty list once the horizon is reached.  The overshoot
+        happens because a whole window chunk is thinned at once; callers
+        schedule everything they receive.
+        """
+        out: List[float] = []
+        while len(out) < max_count and not self.exhausted:
+            horizon = self.horizon
+            if horizon is not None and self._t >= horizon:
+                self.exhausted = True
+                break
+            if self._window_end is None or self._t >= self._window_end:
+                window_end = self._t + self.window
+                if horizon is not None:
+                    window_end = min(window_end, horizon)
+                self._window_end = window_end
+                self._bound = self.schedule.max_rate(self._t, window_end)
+            bound = self._bound
+            if bound <= 0.0:
+                # idle window: hop to its end and start a fresh window
+                self._t = self._window_end
+                self._window_end = None
+                continue
+            if self._pos >= len(self._pairs):
+                self._refill()
+            view = self._pairs[self._pos :]
+            gaps = -np.log1p(-view[:, 0]) / bound
+            candidates = self._t + np.cumsum(gaps)
+            crossed = int(np.searchsorted(candidates, self._window_end, side="right"))
+            if crossed == 0:
+                # first candidate already overshoots the window
+                self._pos += 1
+                self._t = self._window_end
+                self._window_end = None
+                continue
+            in_window = candidates[:crossed]
+            accept_u = view[:crossed, 1]
+            rates = self.schedule.rate_many(in_window)
+            accepted = in_window[accept_u * bound <= rates]
+            out.extend(accepted.tolist())
+            if crossed < len(candidates):
+                # the (crossed+1)-th pair was consumed by the overshoot candidate
+                self._pos += crossed + 1
+                self._t = self._window_end
+                self._window_end = None
+            else:
+                # buffer exhausted inside the window: continue from the last candidate
+                self._pos += crossed
+                self._t = float(candidates[-1])
+        return out
+
+
 class ArrivalGenerator:
     """Generates Poisson arrivals for one function and injects them into the engine.
 
@@ -47,15 +158,28 @@ class ArrivalGenerator:
         Callback receiving each created :class:`Request` (normally
         ``LassController.dispatch``).
     rng:
-        Random generator for inter-arrival times and work sampling.
+        Random generator for inter-arrival times (and for work sampling
+        when ``work_rng`` is not given).
     slo_deadline:
         Relative SLO deadline stamped onto each request (``None`` for no SLO).
     horizon:
         Stop generating at this simulation time even if the schedule
-        continues (defaults to the schedule's own end).
+        continues (defaults to the schedule's own end).  May be assigned
+        up to the moment :meth:`start` is called.
     thinning_window:
         Length of the look-ahead window used to bound the rate for
         thinning; small enough that step changes are picked up promptly.
+    batch_size:
+        Target number of arrivals scheduled per engine batch.  The
+        default injects arrivals in vectorized batches through
+        ``schedule_many``; ``batch_size=1`` reproduces the seed
+        implementation's one-event-per-arrival cadence (used by the
+        determinism regression test).  Results are independent of
+        ``batch_size`` when ``work_rng`` is a separate stream.
+    work_rng:
+        Optional dedicated stream for per-request work sampling.  When
+        omitted, work is drawn from ``rng`` (deterministic for a fixed
+        ``batch_size``, but interleaved with arrival sampling).
     """
 
     def __init__(
@@ -68,62 +192,76 @@ class ArrivalGenerator:
         slo_deadline: Optional[float] = 0.1,
         horizon: Optional[float] = None,
         thinning_window: float = 5.0,
+        batch_size: int = 256,
+        work_rng: Optional[np.random.Generator] = None,
     ) -> None:
         if thinning_window <= 0:
             raise ValueError("thinning_window must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.engine = engine
         self.profile = profile
         self.schedule = schedule
         self.dispatch = dispatch
         self.rng = rng
+        self.work_rng = work_rng if work_rng is not None else rng
         self.slo_deadline = slo_deadline
         self.horizon = horizon if horizon is not None else schedule.end_time
         self.thinning_window = float(thinning_window)
+        self.batch_size = int(batch_size)
         self.generated: int = 0
         self._started = False
+        self._sampler: Optional[_ThinningSampler] = None
 
     # ------------------------------------------------------------------
     # Driving the process
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Schedule the first arrival."""
+        """Sample and schedule the first batch of arrivals."""
         if self._started:
             return
         self._started = True
-        self._schedule_next(self.engine.now)
+        self._sampler = _ThinningSampler(
+            self.schedule,
+            self.rng,
+            start=self.engine.now,
+            horizon=self.horizon,
+            thinning_window=self.thinning_window,
+        )
+        self._pump()
 
-    def _schedule_next(self, from_time: float) -> None:
-        """Sample the next arrival after ``from_time`` by thinning and schedule it."""
-        t = from_time
-        while True:
-            if self.horizon is not None and t >= self.horizon:
-                return
-            window_end = t + self.thinning_window
-            if self.horizon is not None:
-                window_end = min(window_end, self.horizon)
-            bound = self.schedule.max_rate(t, window_end)
-            if bound <= 0:
-                # idle period: hop to the end of the window and try again
-                t = window_end
-                if self.horizon is not None and t >= self.horizon:
-                    return
-                continue
-            gap = float(self.rng.exponential(1.0 / bound))
-            if t + gap > window_end:
-                # no (candidate) arrival inside this window; advance and retry
-                t = window_end
-                continue
-            t = t + gap
-            # thinning: accept with probability rate(t)/bound
-            if self.rng.uniform() <= self.schedule.rate(t) / bound:
-                break
-        self.engine.schedule_at(max(t, self.engine.now), self._emit, t)
+    def _pump(self) -> None:
+        """Schedule the next batch of arrivals plus the follow-up pump.
 
-    def _emit(self, arrival_time: float) -> None:
-        request = self.make_request(arrival_time)
+        The pump event is scheduled at the batch's last arrival time with
+        the same (data) priority but a later sequence number, so it fires
+        after that arrival's dispatch — the next batch is then sampled
+        with the RNG positioned exactly as in per-event mode.
+        """
+        assert self._sampler is not None
+        times = self._sampler.next_arrivals(self.batch_size)
+        if not times:
+            return
+        # pre-sample the whole batch's work in one vectorized draw; the RNG
+        # stream consumption is identical to per-emit scalar draws, so this
+        # does not change a seeded realisation (see sample_work_many)
+        works = self.profile.sample_work_many(self.work_rng, len(times))
+        emit = self._emit
+        self.engine.schedule_many(
+            (t, emit, (t, w)) for t, w in zip(times, works.tolist())
+        )
+        self.engine.call_at(times[-1], self._pump)
+
+    def _emit(self, arrival_time: float, work: float) -> None:
+        deadline = None if self.slo_deadline is None else arrival_time + self.slo_deadline
+        request = Request(
+            function_name=self.profile.name,
+            arrival_time=arrival_time,
+            deadline=deadline,
+            work=work,
+        )
         self.generated += 1
         self.dispatch(request)
-        self._schedule_next(arrival_time)
 
     # ------------------------------------------------------------------
     # Request construction
@@ -135,7 +273,7 @@ class ArrivalGenerator:
             function_name=self.profile.name,
             arrival_time=arrival_time,
             deadline=deadline,
-            work=self.profile.sample_work(self.rng),
+            work=self.profile.sample_work(self.work_rng),
         )
 
 
@@ -149,26 +287,17 @@ def generate_arrival_times(
 
     Samples a non-homogeneous Poisson process over ``[0, horizon]`` by
     thinning, identical in distribution to what :class:`ArrivalGenerator`
-    injects into the simulation.
+    injects into the simulation (it runs the same sampler).
     """
     if horizon <= 0:
         raise ValueError("horizon must be positive")
+    sampler = _ThinningSampler(schedule, rng, start=0.0, horizon=horizon, thinning_window=thinning_window)
     times: List[float] = []
-    t = 0.0
-    while t < horizon:
-        window_end = min(t + thinning_window, horizon)
-        bound = schedule.max_rate(t, window_end)
-        if bound <= 0:
-            t = window_end
-            continue
-        gap = float(rng.exponential(1.0 / bound))
-        if t + gap > window_end:
-            t = window_end
-            continue
-        t += gap
-        if rng.uniform() <= schedule.rate(t) / bound:
-            times.append(t)
-    return times
+    while True:
+        batch = sampler.next_arrivals(1024)
+        if not batch:
+            return times
+        times.extend(batch)
 
 
 __all__ = ["ArrivalGenerator", "WorkloadBinding", "generate_arrival_times"]

@@ -41,6 +41,16 @@ class RateSchedule(abc.ABC):
     def end_time(self) -> Optional[float]:
         """Time after which the rate is zero forever (``None`` = never ends)."""
 
+    def rate_many(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized λ(t) for an array of times.
+
+        The base implementation loops over :meth:`rate`; concrete
+        schedules override it with a true numpy evaluation so the
+        vectorized arrival generator can thin whole candidate batches
+        without a Python call per candidate.
+        """
+        return np.array([self.rate(float(t)) for t in np.asarray(times).ravel()], dtype=float)
+
     def mean_rate(self, start: float, end: float, samples: int = 1000) -> float:
         """Numerical average of λ(t) over an interval (for tests and reports)."""
         if end <= start:
@@ -76,6 +86,13 @@ class StaticRate(RateSchedule):
     def max_rate(self, start: float, end: float) -> float:
         return self.value
 
+    def rate_many(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        live = times >= 0
+        if self.duration is not None:
+            live &= times < self.duration
+        return np.where(live, self.value, 0.0)
+
     @property
     def end_time(self) -> Optional[float]:
         return self.duration
@@ -101,6 +118,10 @@ class StepSchedule(RateSchedule):
             raise ValueError("rates must be non-negative")
         self._times = [t for t, _ in ordered]
         self._rates = [r for _, r in ordered]
+        # ndarray views for rate_many, which sits on the vectorized thinning
+        # hot path — rebuilding them per call would scale with the step count
+        self._times_arr = np.asarray(self._times)
+        self._rates_arr = np.asarray(self._rates)
         self._duration = duration
 
     def rate(self, t: float) -> float:
@@ -110,6 +131,15 @@ class StepSchedule(RateSchedule):
             return 0.0
         index = bisect.bisect_right(self._times, t) - 1
         return self._rates[index]
+
+    def rate_many(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        indices = np.searchsorted(self._times_arr, times, side="right") - 1
+        rates = self._rates_arr[np.clip(indices, 0, None)]
+        dead = indices < 0
+        if self._duration is not None:
+            dead |= times >= self._duration
+        return np.where(dead, 0.0, rates)
 
     def max_rate(self, start: float, end: float) -> float:
         relevant = [self.rate(start)]
@@ -169,6 +199,14 @@ class RampSchedule(RateSchedule):
             return 0.0
         return float(np.interp(t, self._times, self._rates))
 
+    def rate_many(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        rates = np.interp(times, self._times, self._rates)
+        dead = times < 0
+        if self._duration is not None:
+            dead |= times >= self._duration
+        return np.where(dead, 0.0, rates)
+
     def max_rate(self, start: float, end: float) -> float:
         candidates = [self.rate(start), self.rate(end)]
         for t, r in zip(self._times, self._rates):
@@ -209,6 +247,13 @@ class TraceSchedule(RateSchedule):
             return 0.0
         return float(self._counts[index] / self.interval)
 
+    def rate_many(self, times: np.ndarray) -> np.ndarray:
+        offsets = np.asarray(times, dtype=float) - self.start
+        indices = np.floor_divide(offsets, self.interval).astype(int)
+        dead = (offsets < 0) | (indices >= self._counts.size)
+        rates = self._counts[np.clip(indices, 0, self._counts.size - 1)] / self.interval
+        return np.where(dead, 0.0, rates)
+
     def max_rate(self, start: float, end: float) -> float:
         i0 = max(0, int((start - self.start) // self.interval))
         i1 = min(self._counts.size - 1, int((end - self.start) // self.interval))
@@ -240,6 +285,13 @@ class CompositeSchedule(RateSchedule):
 
     def rate(self, t: float) -> float:
         return sum(s.rate(t) for s in self._schedules)
+
+    def rate_many(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        total = np.zeros_like(times)
+        for schedule in self._schedules:
+            total += schedule.rate_many(times)
+        return total
 
     def max_rate(self, start: float, end: float) -> float:
         return sum(s.max_rate(start, end) for s in self._schedules)

@@ -74,7 +74,11 @@ class TestReactiveAutoscaler:
             bindings, duration=120.0,
             cluster_config=ClusterConfig(node_count=4, cpu_per_node=8),
         )
-        assert cluster.container_count("microbenchmark") >= 2
+        # the reactive scaler oscillates around the 3-Erlang offered load, so
+        # assert on the time-averaged allocation rather than the (noisy)
+        # point-in-time container count at the end of the run
+        counts = [e.functions["microbenchmark"].containers for e in metrics.epochs[2:]]
+        assert sum(counts) / len(counts) >= 2
         assert metrics.counters["completions"] >= 0.9 * metrics.counters["arrivals"]
 
     def test_scales_down_when_load_stops(self):

@@ -116,14 +116,85 @@ class TestEwma:
         assert min(observations) - 1e-9 <= ewma.value <= max(observations) + 1e-9
 
 
+class TestBucketizedWindow:
+    """The PR-1 ring-buffer counter: O(1) record, constant memory."""
+
+    def test_constant_memory_under_bursts(self):
+        counter = SlidingWindowCounter(120.0)  # default 5 s buckets -> 25 slots
+        buckets = len(counter._counts)
+        for i in range(50_000):
+            counter.record(i * 0.001)  # a 1000 req/s burst
+        assert len(counter._counts) == buckets
+        assert counter.count(now=50.0) > 0
+
+    def test_aligned_queries_are_exact(self):
+        counter = SlidingWindowCounter(10.0, bucket_width=5.0)
+        for t in (0.5, 2.0, 5.5, 9.0, 12.0):
+            counter.record(t)
+        # query aligned to a bucket boundary: exactly the events in (5, 15]
+        assert counter.count(now=15.0) == 3
+        assert counter.count(now=20.0) == 1  # only the 12.0 event remains in (10, 20]
+
+    def test_burst_switch_at_window_boundary(self):
+        estimator = DualWindowRateEstimator(long_window=120, short_window=10)
+        t = 0.0
+        while t < 100.0:                      # 5 req/s background
+            estimator.record_arrival(t)
+            t += 0.2
+        while t < 110.0:                      # burst at 50 req/s filling the short window
+            estimator.record_arrival(t)
+            t += 0.02
+        # sampled exactly at the burst-window boundary (aligned, 5 s grid)
+        obs = estimator.estimate(now=110.0)
+        assert obs.burst_detected
+        assert obs.rate == obs.short_rate == pytest.approx(50.0, rel=0.1)
+        # one short-window length later with no further arrivals the burst
+        # has left the short window again
+        obs_after = estimator.estimate(now=125.0)
+        assert not obs_after.burst_detected
+        assert obs_after.rate == obs_after.long_rate
+
+    def test_startup_transient_uses_elapsed_cap(self):
+        counter = SlidingWindowCounter(120.0)
+        for t in np.arange(0.0, 5.0, 0.25):   # 4 req/s for the first five seconds
+            counter.record(float(t))
+        # without the cap the 20 events would be spread over the whole window
+        assert counter.rate(now=5.0) == pytest.approx(20 / 120.0)
+        assert counter.rate(now=5.0, elapsed=5.0) == pytest.approx(4.0)
+
+    def test_clear_resets_counts_and_monotonicity(self):
+        counter = SlidingWindowCounter(10.0)
+        counter.record(5.0)
+        counter.clear()
+        assert counter.count(now=5.0) == 0
+        counter.record(1.0)  # going "back in time" is fine after clear()
+        assert counter.count(now=1.0) == 1
+
+    def test_events_expire_after_window(self):
+        counter = SlidingWindowCounter(10.0, bucket_width=5.0)
+        counter.record(12.0)
+        assert counter.count(now=15.0) == 1
+        assert counter.count(now=30.0) == 0
+
+    def test_bucket_width_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowCounter(10.0, bucket_width=0.0)
+        with pytest.raises(ValueError):
+            SlidingWindowCounter(10.0, bucket_width=20.0)
+        # short windows clamp the default bucket to half the window
+        assert SlidingWindowCounter(2.0).bucket_width == pytest.approx(1.0)
+
+
 class TestSlidingWindows:
     def test_counter_evicts_old_events(self):
         counter = SlidingWindowCounter(10.0)
         for t in (0.0, 2.0, 5.0, 9.0, 12.0):
             counter.record(t)
-        # the window is (now - length, now]: events at 0.0 and exactly at the
-        # cutoff (2.0) are evicted, 5.0 / 9.0 / 12.0 remain
-        assert counter.count(now=12.0) == 3
+        # bucketized semantics: an unaligned query (12.0 on a 5 s grid)
+        # includes the whole partially-covered oldest bucket [0, 5), so all
+        # five events count; at the aligned query 20.0 the buckets below
+        # [10, 15) have been evicted and only the 12.0 event remains
+        assert counter.count(now=12.0) == 5
         assert counter.count(now=20.0) == 1
 
     def test_rate_uses_elapsed_cap(self):
@@ -265,3 +336,25 @@ class TestStreamingQuantileAndOnlineEstimator:
             OnlineServiceTimeEstimator().observe(1.0, -0.1)
         with pytest.raises(ValueError):
             StreamingQuantile(max_samples=2)
+
+
+class TestBucketizedWindowStaleRecords:
+    def test_record_behind_advanced_head_is_dropped(self):
+        """A count() query advances the ring; a subsequent record older than
+        the retained span must not alias a newer bucket (phantom events)."""
+        counter = SlidingWindowCounter(10.0, bucket_width=5.0)
+        counter.record(0.0)
+        assert counter.count(now=100.0) == 0   # advances the head far forward
+        counter.record(1.0)                    # non-decreasing, but ancient
+        assert counter.count(now=100.0) == 0   # must not appear in (90, 100]
+
+
+class TestUnalignedQueryOverApproximation:
+    def test_unaligned_query_never_misses_in_window_events(self):
+        # events at 3 and 4 lie inside (2, 12] but in a partially-covered
+        # bucket; the counter must include them (over-approximate), not
+        # silently drop them — under-counting would delay burst detection
+        counter = SlidingWindowCounter(10.0, bucket_width=5.0)
+        for t in (3.0, 4.0, 6.0, 11.0):
+            counter.record(t)
+        assert counter.count(now=12.0) == 4

@@ -217,3 +217,154 @@ class TestSharedQueueDispatcher:
         engine.run()
         assert completions[big.container_id] == 20
         assert completions[small.container_id] == 10
+
+
+class TestIncrementalIdleSets:
+    """Cluster-attached dispatch: idle sets maintained by state hooks."""
+
+    @pytest.fixture
+    def cluster(self, engine):
+        cluster = EdgeCluster(engine, ClusterConfig())
+        cluster.deploy(FunctionDeployment(name="fn", cpu=1.0, memory_mb=256))
+        return cluster
+
+    def _warm(self, engine, cluster, count=1):
+        containers = [cluster.create_container("fn") for _ in range(count)]
+        engine.run(until=engine.now + cluster.config.cold_start_latency + 1e-6)
+        return containers
+
+    def test_warm_container_enters_idle_set(self, engine, cluster):
+        dispatcher = SharedQueueDispatcher(engine)
+        dispatcher.attach_cluster(cluster)
+        [container] = self._warm(engine, cluster)
+        request = make_request()
+        assert dispatcher.submit(request) is True  # no container list needed
+        engine.run()
+        assert request.status is RequestStatus.COMPLETED
+        assert request.container_id == container.container_id
+
+    def test_attach_indexes_preexisting_containers(self, engine, cluster):
+        [container] = self._warm(engine, cluster)
+        dispatcher = SharedQueueDispatcher(engine)
+        dispatcher.attach_cluster(cluster)  # attached after the container warmed
+        assert dispatcher.submit(make_request()) is True
+
+    def test_busy_container_leaves_idle_set(self, engine, cluster):
+        dispatcher = SharedQueueDispatcher(engine)
+        dispatcher.attach_cluster(cluster)
+        self._warm(engine, cluster)
+        first, second = make_request(work=0.2), make_request(work=0.2)
+        assert dispatcher.submit(first) is True
+        assert dispatcher.submit(second) is False  # only container busy -> queued
+        engine.run()
+        assert second.status is RequestStatus.COMPLETED
+        # FCFS through the shared queue: the second starts when the first ends
+        assert second.start_time == pytest.approx(first.completion_time)
+
+    def test_draining_container_not_dispatchable(self, engine, cluster):
+        dispatcher = SharedQueueDispatcher(engine)
+        dispatcher.attach_cluster(cluster)
+        [container] = self._warm(engine, cluster)
+        container.mark_draining()
+        assert dispatcher.submit(make_request()) is False
+        # rescuing the container makes it dispatchable again without a rescan
+        container.unmark_draining()
+        assert dispatcher.submit(make_request()) is True
+
+    def test_terminated_container_removed_from_idle_set(self, engine, cluster):
+        dispatcher = SharedQueueDispatcher(engine)
+        dispatcher.attach_cluster(cluster)
+        [container] = self._warm(engine, cluster)
+        cluster.terminate_container(container.container_id)
+        assert dispatcher.submit(make_request()) is False
+        assert dispatcher.queue_length("fn") == 1
+
+    def test_completion_returns_container_to_idle_set(self, engine, cluster):
+        dispatcher = SharedQueueDispatcher(engine)
+        dispatcher.attach_cluster(cluster)
+        self._warm(engine, cluster)
+        first = make_request(work=0.1)
+        dispatcher.submit(first)
+        engine.run()
+        assert first.status is RequestStatus.COMPLETED
+        # the container completed and must be dispatchable again
+        assert dispatcher.submit(make_request()) is True
+
+    def test_deflated_container_stays_dispatchable(self, engine, cluster):
+        dispatcher = SharedQueueDispatcher(engine)
+        dispatcher.attach_cluster(cluster)
+        [container] = self._warm(engine, cluster)
+        cluster.deflate_container(container.container_id, 0.5)
+        request = make_request(work=0.1)
+        assert dispatcher.submit(request) is True
+        engine.run()
+        # half the CPU -> double the service time under the default curve
+        assert request.service_time == pytest.approx(0.2)
+
+    def test_stale_entries_discarded_lazily(self, engine, cluster):
+        dispatcher = SharedQueueDispatcher(engine)
+        dispatcher.attach_cluster(cluster)
+        [container] = self._warm(engine, cluster)
+        # bypass the dispatcher: the idle entry is now stale
+        container.submit(make_request(work=0.5), engine)
+        assert dispatcher.submit(make_request()) is False  # stale entry discarded, queued
+        assert dispatcher.queue_length("fn") == 1
+
+    def test_drain_without_explicit_list(self, engine, cluster):
+        dispatcher = SharedQueueDispatcher(engine)
+        dispatcher.attach_cluster(cluster)
+        request = make_request()
+        dispatcher.submit(request)               # queued: nothing warm yet
+        assert dispatcher.queue_length("fn") == 1
+        self._warm(engine, cluster)
+        assert dispatcher.drain("fn") == 1
+        engine.run()
+        assert request.status is RequestStatus.COMPLETED
+
+    def test_deflation_then_termination_under_queue(self, engine, cluster):
+        dispatcher = SharedQueueDispatcher(engine)
+        dispatcher.attach_cluster(cluster)
+        first, second = self._warm(engine, cluster, count=2)
+        blocked = [make_request(work=1.0) for _ in range(4)]
+        for request in blocked:
+            dispatcher.submit(request)
+        assert dispatcher.queue_length("fn") == 2
+        dropped = cluster.terminate_container(first.container_id)
+        assert len(dropped) == 1                 # the one running on the victim
+        engine.run()
+        # the survivor works through the shared queue alone
+        done = [r for r in blocked if r.status is RequestStatus.COMPLETED]
+        assert len(done) == 3
+        assert all(r.container_id == second.container_id for r in done)
+
+
+class TestUnattachedDispatcherHygiene:
+    def test_unattached_dispatcher_does_not_pin_containers(self, engine):
+        """Baseline controllers pass explicit lists and never attach a cluster;
+        the idle index must stay empty or terminated containers leak."""
+        dispatcher = SharedQueueDispatcher(engine)
+        for _ in range(5):
+            container = warm_container()
+            dispatcher.submit(make_request(work=0.01), [container])
+            engine.run()
+            container.terminate(engine.now)
+        assert all(not index for index in dispatcher._idle.values())
+
+    def test_watch_container_tracks_standalone_container(self, engine):
+        dispatcher = SharedQueueDispatcher(engine)
+        container = warm_container()
+        dispatcher.watch_container(container)
+        request = make_request()
+        assert dispatcher.submit(request) is True   # no explicit list needed
+        engine.run()
+        assert request.status is RequestStatus.COMPLETED
+        container.terminate(engine.now)
+        assert all(not index for index in dispatcher._idle.values())
+
+    def test_watch_container_refuses_cluster_owned_containers(self, engine):
+        cluster = EdgeCluster(engine, ClusterConfig())
+        cluster.deploy(FunctionDeployment(name="fn", cpu=1.0, memory_mb=256))
+        container = cluster.create_container("fn")
+        dispatcher = SharedQueueDispatcher(engine)
+        with pytest.raises(ValueError):
+            dispatcher.watch_container(container)

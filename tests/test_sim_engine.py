@@ -135,6 +135,75 @@ class TestRun:
             engine.run()
 
 
+class TestFastPaths:
+    def test_call_later_fires_with_args(self, engine):
+        seen = []
+        assert engine.call_later(1.0, lambda a, b: seen.append((a, b)), 1, 2) is None
+        engine.run()
+        assert seen == [(1, 2)]
+
+    def test_call_at_absolute_time(self, engine):
+        fired = []
+        engine.call_at(3.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [3.0]
+
+    def test_call_later_validation(self, engine):
+        with pytest.raises(SimulationError):
+            engine.call_later(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.call_later(math.nan, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.call_at(-0.5, lambda: None)
+
+    def test_bare_and_event_entries_share_tie_break_order(self, engine):
+        order = []
+        engine.schedule(1.0, lambda: order.append("event"))
+        engine.call_later(1.0, order.append, "bare")
+        engine.schedule(1.0, lambda: order.append("event2"))
+        engine.run()
+        assert order == ["event", "bare", "event2"]
+
+    def test_schedule_many_batch(self, engine):
+        seen = []
+        count = engine.schedule_many((float(t), seen.append, (t,)) for t in (3, 1, 2))
+        assert count == 3
+        engine.run()
+        assert seen == [1, 2, 3]
+
+    def test_schedule_many_keeps_insertion_order_at_equal_times(self, engine):
+        seen = []
+        engine.schedule_many((1.0, seen.append, (label,)) for label in "abc")
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_schedule_many_rejects_past_times(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_many([(0.5, lambda: None, ())])
+
+    def test_schedule_many_counts_in_events_processed(self, engine):
+        engine.schedule_many((float(i + 1), (lambda: None), ()) for i in range(4))
+        engine.run()
+        assert engine.events_processed == 4
+
+
+class TestStopCounting:
+    def test_stop_event_is_counted_by_run(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, stop_simulation)
+        engine.schedule(3.0, lambda: None)
+        engine.run()
+        # the stopping callback ran, so it counts; the event after it does not
+        assert engine.events_processed == 2
+
+    def test_stop_event_is_counted_by_step(self, engine):
+        engine.schedule(1.0, stop_simulation)
+        assert engine.step() is False
+        assert engine.events_processed == 1
+
+
 class TestCancellationAndReset:
     def test_cancelled_event_does_not_fire(self, engine):
         fired = []
@@ -167,3 +236,21 @@ class TestCancellationAndReset:
         engine.schedule(1.0, lambda: fired.append(engine.now))
         engine.run()
         assert fired == [101.0]
+
+    def test_lazy_cancellation_accounting(self, engine):
+        kept = engine.schedule(1.0, lambda: None)
+        for _ in range(3):
+            engine.schedule(2.0, lambda: None).cancel()
+        assert engine.events_cancelled == 0  # nothing discarded yet (lazy)
+        assert engine.pending_events == 4
+        engine.run()
+        assert engine.events_cancelled == 3
+        assert engine.events_processed == 1
+        assert kept.cancelled is False
+
+    def test_reset_clears_cancellation_counter(self, engine):
+        engine.schedule(1.0, lambda: None).cancel()
+        engine.run()
+        assert engine.events_cancelled == 1
+        engine.reset()
+        assert engine.events_cancelled == 0
