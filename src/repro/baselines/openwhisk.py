@@ -74,6 +74,7 @@ class VanillaOpenWhiskController:
         config: Optional[OpenWhiskConfig] = None,
         metrics: Optional[MetricsCollector] = None,
     ) -> None:
+        """Wire the baseline controller to the engine, cluster, and metrics sink."""
         self.engine = engine
         self.cluster = cluster
         self.config = config or OpenWhiskConfig()
@@ -133,6 +134,7 @@ class VanillaOpenWhiskController:
             self.metrics.increment("stranded_requests")
 
     def _find_idle_container(self, name: str) -> Optional[Container]:
+        """First available warm container of the function with no in-flight work."""
         for container in self.cluster.containers_of(name):
             if not container.is_available or container.in_flight > 0:
                 continue
@@ -162,6 +164,7 @@ class VanillaOpenWhiskController:
         return None
 
     def _on_container_warm(self, container: Container) -> None:
+        """A container finished cold start: serve its function's pending requests."""
         container.on_warm_start(self.engine, self._on_request_complete)
         pending = self._pending.get(container.function_name)
         if pending:
@@ -174,6 +177,7 @@ class VanillaOpenWhiskController:
                     container._try_start_next(self.engine, self._on_request_complete)
 
     def _on_request_complete(self, request: Request, container: Container) -> None:
+        """Completion callback: count the completion unless the node already failed."""
         node = self._node_of(container)
         if node is not None and node.unresponsive:
             # completions on a failed node do not count: the invoker never
@@ -212,12 +216,14 @@ class VanillaOpenWhiskController:
         return all(n.unresponsive for n in self.cluster.nodes)
 
     def _node_of(self, container: Container) -> Optional[Node]:
+        """The node hosting a container (``None`` if it is gone)."""
         return self.cluster.node(container.node_name)
 
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
     def _snapshot_tick(self) -> None:
+        """Periodic tick: check node health and record a per-function epoch snapshot."""
         self._check_node_health()
         functions: Dict[str, FunctionEpochStats] = {}
         for deployment in self.cluster.deployments:

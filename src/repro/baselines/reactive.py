@@ -37,6 +37,7 @@ class ReactiveControllerConfig:
     max_containers: int = 1000
 
     def __post_init__(self) -> None:
+        """Validate the configuration parameters."""
         if self.target_concurrency <= 0:
             raise ValueError("target_concurrency must be positive")
         if self.evaluation_interval <= 0:
@@ -55,6 +56,7 @@ class ConcurrencyAutoscaler:
         config: Optional[ReactiveControllerConfig] = None,
         metrics: Optional[MetricsCollector] = None,
     ) -> None:
+        """Wire the autoscaler to the engine, cluster, and metrics sink."""
         self.engine = engine
         self.cluster = cluster
         self.config = config or ReactiveControllerConfig()
@@ -86,18 +88,21 @@ class ConcurrencyAutoscaler:
             self._create(request.function_name, 1)
 
     def _on_container_warm(self, container: Container) -> None:
+        """A container finished cold start: drain queued requests onto it."""
         self.dispatcher.drain(
             container.function_name,
             self.cluster.warm_containers_of(container.function_name),
         )
 
     def _on_request_complete(self, request: Request, container: Container) -> None:
+        """Completion callback: record the completion in the metrics."""
         self.metrics.record_completion(request)
 
     # ------------------------------------------------------------------
     # Control loop
     # ------------------------------------------------------------------
     def _evaluate(self) -> None:
+        """One evaluation step: compare observed concurrency to the target and scale."""
         for deployment in self.cluster.deployments:
             name = deployment.name
             live = self.cluster.containers_of(name, include_draining=False)
@@ -126,6 +131,7 @@ class ConcurrencyAutoscaler:
         )
 
     def _create(self, name: str, count: int) -> None:
+        """Create up to ``count`` new containers, capacity permitting."""
         for _ in range(count):
             node = self.cluster.find_node_for(
                 self.cluster.deployment(name).cpu, self.cluster.deployment(name).memory_mb
@@ -136,6 +142,7 @@ class ConcurrencyAutoscaler:
             self.metrics.increment("creations")
 
     def _snapshot(self) -> None:
+        """Record a per-function epoch snapshot for the timeline metrics."""
         functions: Dict[str, FunctionEpochStats] = {}
         for deployment in self.cluster.deployments:
             live = self.cluster.containers_of(deployment.name)

@@ -35,6 +35,7 @@ class StaticAllocationController:
         metrics: Optional[MetricsCollector] = None,
         snapshot_interval: float = 10.0,
     ) -> None:
+        """Wire the controller to the engine, cluster, and metrics sink."""
         self.engine = engine
         self.cluster = cluster
         self.allocations = {name: int(count) for name, count in allocations.items()}
@@ -67,15 +68,18 @@ class StaticAllocationController:
         self.dispatcher.submit(request, containers)
 
     def _on_container_warm(self, container: Container) -> None:
+        """A container finished cold start: drain queued requests onto it."""
         self.dispatcher.drain(
             container.function_name,
             self.cluster.warm_containers_of(container.function_name),
         )
 
     def _on_request_complete(self, request: Request, container: Container) -> None:
+        """Completion callback: record the completion in the metrics."""
         self.metrics.record_completion(request)
 
     def _snapshot_tick(self) -> None:
+        """Record a per-function epoch snapshot for the timeline metrics."""
         functions: Dict[str, FunctionEpochStats] = {}
         for deployment in self.cluster.deployments:
             live = self.cluster.containers_of(deployment.name)

@@ -12,23 +12,35 @@ Commands
     controller and print the measured waiting-time percentiles, SLO
     attainment, and utilisation.
 ``experiment``
-    Regenerate one of the paper's tables/figures (``table1``, ``fig3`` …
-    ``fig9``) and print its text rendering.
+    Regenerate one of the paper's tables/figures and print its text
+    rendering.  Valid names are enumerated programmatically from the
+    scenario registry (:func:`repro.scenarios.registry.experiment_names`)
+    so ``--help`` can never drift from what is actually registered.
 ``functions``
     List the Table 1 function catalogue.
+``scenario``
+    Run one scenario — a registered name (``python -m repro scenario
+    --list``) or a ``spec.json`` file — and emit the unified results
+    JSON (schema ``repro/scenario-result@1``).
+``sweep``
+    Expand a parameter sweep (registered name or ``sweep.json``) and run
+    its shards, optionally across ``--workers`` processes; the results
+    JSON is byte-identical regardless of the worker count.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.core.queueing.mgc import required_containers_mgc
-from repro.core.queueing.sizing import required_containers, required_containers_fast
-
 
 def _cmd_size(args: argparse.Namespace) -> int:
+    """Print the container counts the three queueing models recommend."""
+    from repro.core.queueing.mgc import required_containers_mgc
+    from repro.core.queueing.sizing import required_containers, required_containers_fast
+
     mu = 1.0 / args.service_time
     reference = required_containers(args.rate, mu, args.slo, args.percentile)
     fast = required_containers_fast(args.rate, mu, args.slo, args.percentile)
@@ -45,6 +57,7 @@ def _cmd_size(args: argparse.Namespace) -> int:
 
 
 def _cmd_functions(args: argparse.Namespace) -> int:
+    """Print the Table 1 function catalogue."""
     from repro.experiments.table1_functions import format_table1
 
     print(format_table1())
@@ -52,6 +65,7 @@ def _cmd_functions(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    """Simulate one function under LaSS and print its SLO outcome."""
     from repro import ClusterConfig, ControllerConfig, ReclamationPolicy, SimulationRunner
     from repro.workloads import StaticRate, WorkloadBinding, get_function
 
@@ -83,43 +97,128 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if slo.satisfied else 1
 
 
+def _error_text(error: BaseException) -> str:
+    """The error's message without ``str(KeyError)``'s surrounding quotes."""
+    if isinstance(error, KeyError) and error.args:
+        return str(error.args[0])
+    return str(error)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    name = args.name.lower()
-    if name == "table1":
-        from repro.experiments.table1_functions import format_table1
-        print(format_table1())
-    elif name == "fig3":
-        from repro.experiments.fig3_homogeneous import format_fig3, run_fig3
-        print(format_fig3(run_fig3(duration=args.duration or 300.0)))
-    elif name == "fig4":
-        from repro.experiments.fig4_heterogeneous import format_fig4, run_fig4
-        print(format_fig4(run_fig4(duration=args.duration or 240.0)))
-    elif name == "fig5":
-        from repro.experiments.fig5_scalability import format_fig5, run_fig5
-        print(format_fig5(run_fig5()))
-    elif name == "fig6":
-        from repro.experiments.fig6_autoscaling import run_fig6
-        result = run_fig6(step_duration=args.duration or 60.0)
-        times, counts = result.micro_timeline
-        for t, c in zip(times, counts):
-            print(f"t={t:7.1f}s  microbenchmark containers={c}")
-    elif name == "fig7":
-        from repro.experiments.fig7_deflation import format_fig7, run_fig7
-        print(format_fig7(run_fig7()))
-    elif name == "fig8":
-        from repro.experiments.fig8_reclamation import format_fig8, run_fig8
-        print(format_fig8(run_fig8(phase_duration=args.duration or 180.0)))
-    elif name == "fig9":
-        from repro.experiments.fig9_azure import format_fig9, run_fig9
-        print(format_fig9(run_fig9(duration_minutes=int(args.duration or 30))))
-    else:
-        print(f"unknown experiment {args.name!r}; choose from table1, fig3..fig9", file=sys.stderr)
+    """Regenerate one paper experiment via the registry-driven renderers."""
+    from repro.experiments import render_experiment
+
+    try:
+        print(render_experiment(args.name.lower(), duration=args.duration))
+    except KeyError as error:
+        print(_error_text(error), file=sys.stderr)
         return 2
+    return 0
+
+
+def _load_spec_argument(argument: str, expect: str):
+    """Resolve a ``<name|spec.json>`` argument to a spec or sweep object.
+
+    ``expect`` (``"scenario"`` or ``"sweep"``) only tailors the error
+    text for unrecognised files; both JSON schemas are recognised by
+    their ``schema`` field, so a sweep file handed to ``scenario`` (or
+    vice versa) still loads.
+    """
+    import os
+
+    from repro.scenarios import build, get_entry
+    from repro.scenarios.spec import SCENARIO_SCHEMA, ScenarioSpec
+    from repro.scenarios.sweep import SWEEP_SCHEMA, SweepSpec
+
+    if argument.endswith(".json") or os.path.isfile(argument):
+        with open(argument, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        schema = data.get("schema")
+        if schema == SWEEP_SCHEMA or "base" in data:
+            return SweepSpec.from_dict(data)
+        if schema == SCENARIO_SCHEMA or "kind" in data:
+            return ScenarioSpec.from_dict(data)
+        raise ValueError(f"{argument}: not a recognised {expect} JSON "
+                         f"(no repro/scenario@1 or repro/sweep@1 schema field)")
+    get_entry(argument)  # raises KeyError with the available names
+    return build(argument)
+
+
+def _emit_json(payload, output: Optional[str], pretty: bool) -> None:
+    """Write results JSON to stdout or ``output`` (canonical unless pretty)."""
+    from repro.scenarios.spec import canonical_json
+
+    if pretty:
+        text = json.dumps(payload, sort_keys=True, indent=2)
+    else:
+        text = canonical_json(payload)
+    if output is None or output == "-":
+        print(text)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """Run one scenario (or a registered sweep, serially) and emit results JSON."""
+    from repro.scenarios import describe, run_scenario
+    from repro.scenarios.sweep import SweepRunner, SweepSpec
+
+    if args.list:
+        for name, tags, summary in describe():
+            print(f"{name:<22} [{tags}] {summary}")
+        return 0
+    if args.spec is None:
+        print("a scenario name or spec.json path is required (see --list)", file=sys.stderr)
+        return 2
+    try:
+        spec = _load_spec_argument(args.spec, expect="scenario")
+        if isinstance(spec, SweepSpec):
+            payload = SweepRunner(spec, workers=1).run()
+        else:
+            payload = run_scenario(spec).data
+    except (KeyError, ValueError, OSError) as error:
+        print(_error_text(error), file=sys.stderr)
+        return 2
+    _emit_json(payload, args.output, args.pretty)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Expand and run a sweep across ``--workers`` processes; emit results JSON."""
+    from repro.scenarios import describe, get_entry
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.scenarios.sweep import SweepRunner, SweepSpec
+
+    if args.list:
+        for name, tags, summary in describe():
+            try:
+                if isinstance(get_entry(name).build(), SweepSpec):
+                    print(f"{name:<22} [{tags}] {summary}")
+            except Exception:  # pragma: no cover - defensive: builder failure
+                continue
+        return 0
+    if args.spec is None:
+        print("a sweep name or sweep.json path is required (see --list)", file=sys.stderr)
+        return 2
+    try:
+        spec = _load_spec_argument(args.spec, expect="sweep")
+        if isinstance(spec, ScenarioSpec):
+            print(f"{args.spec!r} is a single scenario, not a sweep; "
+                  f"use 'python -m repro scenario'", file=sys.stderr)
+            return 2
+        payload = SweepRunner(spec, workers=args.workers).run()
+    except (KeyError, ValueError, OSError) as error:
+        print(_error_text(error), file=sys.stderr)
+        return 2
+    _emit_json(payload, args.output, args.pretty)
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for tests)."""
+    from repro.scenarios.registry import experiment_names
+
     parser = argparse.ArgumentParser(
         prog="repro", description="LaSS reproduction command-line interface"
     )
@@ -150,11 +249,51 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=1)
     simulate.set_defaults(func=_cmd_simulate)
 
-    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    experiment.add_argument("name", help="table1, fig3, fig4, fig5, fig6, fig7, fig8, fig9")
+    valid_experiments = experiment_names()
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure",
+        description="Regenerate one paper experiment. Valid names (from the "
+                    "scenario registry): " + ", ".join(valid_experiments),
+    )
+    # validated in the handler (exit code 2) rather than via argparse
+    # ``choices`` so unknown names return instead of raising SystemExit
+    experiment.add_argument("name", metavar="{" + ",".join(valid_experiments) + "}",
+                            help="experiment to regenerate")
     experiment.add_argument("--duration", type=float, default=None,
                             help="override the experiment's duration parameter")
     experiment.set_defaults(func=_cmd_experiment)
+
+    scenario = sub.add_parser(
+        "scenario", help="run a scenario (registered name or spec.json)",
+        description="Run one scenario and emit the unified results JSON "
+                    "(schema repro/scenario-result@1).",
+    )
+    scenario.add_argument("spec", nargs="?", default=None,
+                          help="registered scenario name or path to a spec.json")
+    scenario.add_argument("--list", action="store_true",
+                          help="list the registered scenarios and exit")
+    scenario.add_argument("--output", "-o", default=None,
+                          help="write results JSON to this file ('-' = stdout)")
+    scenario.add_argument("--pretty", action="store_true",
+                          help="indent the JSON output (default: canonical bytes)")
+    scenario.set_defaults(func=_cmd_scenario)
+
+    sweep = sub.add_parser(
+        "sweep", help="expand and run a parameter sweep, optionally in parallel",
+        description="Expand a sweep's parameter grid and run every shard. "
+                    "Results are byte-identical for any --workers value.",
+    )
+    sweep.add_argument("spec", nargs="?", default=None,
+                       help="registered sweep name or path to a sweep.json")
+    sweep.add_argument("--list", action="store_true",
+                       help="list the registered sweeps and exit")
+    sweep.add_argument("--workers", "-j", type=int, default=1,
+                       help="worker processes (default 1 = serial)")
+    sweep.add_argument("--output", "-o", default=None,
+                       help="write results JSON to this file ('-' = stdout)")
+    sweep.add_argument("--pretty", action="store_true",
+                       help="indent the JSON output (default: canonical bytes)")
+    sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

@@ -76,6 +76,7 @@ class FunctionDeployment:
     min_containers: int = 0
 
     def __post_init__(self) -> None:
+        """Validate the deployment's container size and SLO parameters."""
         if self.cpu <= 0:
             raise ValueError(f"function {self.name}: cpu must be positive")
         if self.memory_mb <= 0:
@@ -105,6 +106,7 @@ class EdgeCluster:
         config: Optional[ClusterConfig] = None,
         nodes: Optional[Iterable[Node]] = None,
     ) -> None:
+        """Build the nodes and empty container indexes for the configured cluster."""
         self.engine = engine
         self.config = config or ClusterConfig()
         self.nodes: List[Node] = list(nodes) if nodes is not None else self.config.build_nodes()
@@ -243,6 +245,7 @@ class EdgeCluster:
         self._on_container_state.append(callback)
 
     def _container_state_changed(self, container: Container) -> None:
+        """Observer hook: keep the per-function container index in sync."""
         if container.state == ContainerState.TERMINATED:
             self._containers.pop(container.container_id, None)
             index = self._by_function.get(container.function_name)
@@ -296,6 +299,7 @@ class EdgeCluster:
         return container
 
     def _finish_cold_start(self, container: Container) -> None:
+        """Engine callback: mark a STARTING container warm and notify observers."""
         if container.state != ContainerState.STARTING:
             return  # terminated while starting
         container.mark_warm(self.engine.now)
@@ -360,6 +364,7 @@ class EdgeCluster:
         return sum(n.room_for(dep.cpu, dep.memory_mb) for n in self.nodes if not n.unresponsive)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Debugging summary of nodes, functions, and containers."""
         return (
             f"EdgeCluster(nodes={len(self.nodes)}, functions={len(self._deployments)}, "
             f"containers={len(self.all_containers())}, "

@@ -76,6 +76,7 @@ class Container:
         created_at: float = 0.0,
         container_id: Optional[str] = None,
     ) -> None:
+        """Create a container in the STARTING state at its standard size."""
         if standard_cpu <= 0:
             raise ValueError("standard_cpu must be positive")
         if memory_mb <= 0:
@@ -165,6 +166,7 @@ class Container:
     # Lifecycle
     # ------------------------------------------------------------------
     def _notify_state(self) -> None:
+        """Invoke the state observer, if one is attached."""
         observer = self.state_observer
         if observer is not None:
             observer(self)
@@ -283,6 +285,7 @@ class Container:
         engine: "SimulationEngine",
         on_complete: Optional[Callable[[Request, "Container"], None]],
     ) -> None:
+        """Start the next queued request if the container has capacity for it."""
         if self._current is not None or not self._queue:
             return
         request = self._queue.popleft()
@@ -300,6 +303,7 @@ class Container:
         engine: "SimulationEngine",
         on_complete: Optional[Callable[[Request, "Container"], None]],
     ) -> None:
+        """Complete the in-flight request and pull the next queued one."""
         request = self._current
         if request is None:  # pragma: no cover - defensive
             return
@@ -324,6 +328,7 @@ class Container:
         return min(1.0, busy / lifetime)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Debugging summary of id, function, node, CPU, and state."""
         return (
             f"Container({self.container_id}, fn={self.function_name!r}, node={self.node_name!r}, "
             f"cpu={self.current_cpu:.2f}/{self.standard_cpu:.2f}, state={self.state.value})"

@@ -137,12 +137,14 @@ class InvokerPool:
     """
 
     def __init__(self, cluster: EdgeCluster, actuation_latency: float = 0.0) -> None:
+        """Create one invoker per cluster node."""
         self.cluster = cluster
         self.invokers: Dict[str, Invoker] = {
             node.name: Invoker(node.name, cluster, actuation_latency) for node in cluster.nodes
         }
 
     def __getitem__(self, node_name: str) -> Invoker:
+        """The invoker responsible for a node, by node name."""
         return self.invokers[node_name]
 
     def invoker_for_container(self, container_id: str) -> Optional[Invoker]:

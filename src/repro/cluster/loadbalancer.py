@@ -34,6 +34,7 @@ class WeightedRoundRobinBalancer:
 
     def __init__(self) -> None:
         # function name -> container id -> current smoothing score
+        """Start with empty per-function smoothing scores."""
         self._scores: Dict[str, Dict[str, float]] = {}
 
     def pick(self, function_name: str, containers: Sequence[Container]) -> Optional[Container]:

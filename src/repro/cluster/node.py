@@ -32,6 +32,7 @@ class Node:
     """
 
     def __init__(self, name: str, cpu_capacity: float, memory_capacity_mb: float) -> None:
+        """Create a node with the given (positive) CPU and memory capacities."""
         if cpu_capacity <= 0 or memory_capacity_mb <= 0:
             raise ValueError("node capacities must be positive")
         self.name = name
@@ -135,6 +136,7 @@ class Node:
         return max(0, min(by_cpu, by_mem))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Debugging summary of allocated vs. total capacity."""
         return (
             f"Node({self.name!r}, cpu={self.cpu_allocated:.2f}/{self.cpu_capacity:.2f}, "
             f"mem={self.memory_allocated_mb:.0f}/{self.memory_capacity_mb:.0f} MB, "

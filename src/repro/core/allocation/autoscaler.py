@@ -103,6 +103,7 @@ class Autoscaler:
         subtract_service_percentile: bool = False,
         max_containers: int = 100_000,
     ) -> None:
+        """Configure the SLO percentile and which sizing implementations to use."""
         if not 0 < percentile < 1:
             raise ValueError("percentile must be in (0, 1)")
         if headroom_containers < 0:

@@ -67,6 +67,7 @@ class FairShareResult:
 
 
 def _validate(demands: Mapping[str, float], weights: Mapping[str, float], capacity: float) -> None:
+    """Validate demands, weights, and capacity before the water-filling pass."""
     if capacity < 0:
         raise ValueError("capacity must be non-negative")
     if not demands:

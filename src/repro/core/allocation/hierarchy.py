@@ -36,6 +36,7 @@ class SchedulingNode:
     children: List["SchedulingNode"] = field(default_factory=list)
 
     def __post_init__(self) -> None:
+        """Validate the node's weight."""
         if self.weight <= 0:
             raise ValueError(f"node {self.name!r}: weight must be positive")
 
@@ -87,6 +88,7 @@ class SchedulingTree:
     """
 
     def __init__(self, root_name: str = "cluster") -> None:
+        """Create a tree containing only the root node."""
         self.root = SchedulingNode(root_name, weight=1.0)
 
     # ------------------------------------------------------------------
@@ -153,6 +155,7 @@ class SchedulingTree:
         result: Dict[str, float] = {}
 
         def descend(node: SchedulingNode, multiplier: float) -> None:
+            """Recursive helper: accumulate each leaf's product of level weights."""
             if node.is_leaf and node is not self.root:
                 result[node.name] = multiplier
                 return
@@ -189,6 +192,7 @@ class SchedulingTree:
         return allocations
 
     def _subtree_demand(self, node: SchedulingNode, demands: Mapping[str, float]) -> float:
+        """Total demand of all leaves under ``node``."""
         if node.is_leaf and node is not self.root:
             return float(demands.get(node.name, 0.0))
         return sum(self._subtree_demand(child, demands) for child in node.children)
@@ -200,6 +204,7 @@ class SchedulingTree:
         capacity: float,
         out: Dict[str, float],
     ) -> None:
+        """Recursively water-fill a node's capacity over its children."""
         if node.is_leaf and node is not self.root:
             out[node.name] = min(capacity, float(demands.get(node.name, 0.0)))
             return

@@ -26,6 +26,7 @@ class PlacementRequest:
     memory_mb: float
 
     def __post_init__(self) -> None:
+        """Validate the requested container size."""
         if self.cpu <= 0 or self.memory_mb <= 0:
             raise ValueError("placement request sizes must be positive")
 
@@ -47,6 +48,7 @@ class PlacementPlan:
 
 def _feasible(nodes: Iterable[Node], request: PlacementRequest,
               reserved: Dict[str, Tuple[float, float]]) -> List[Node]:
+    """Nodes that still fit the request after the plan's prior reservations."""
     feasible = []
     for node in nodes:
         if node.unresponsive:
@@ -66,6 +68,7 @@ def worst_fit(nodes: Sequence[Node], request: PlacementRequest,
     if not feasible:
         return None
     def free_cpu(node: Node) -> float:
+        """Free CPU on a node net of in-plan reservations."""
         return node.cpu_free - reserved.get(node.name, (0.0, 0.0))[0]
     return max(feasible, key=lambda n: (free_cpu(n), n.memory_free_mb, n.name))
 
@@ -78,6 +81,7 @@ def best_fit(nodes: Sequence[Node], request: PlacementRequest,
     if not feasible:
         return None
     def free_cpu(node: Node) -> float:
+        """Free CPU on a node net of in-plan reservations."""
         return node.cpu_free - reserved.get(node.name, (0.0, 0.0))[0]
     return min(feasible, key=lambda n: (free_cpu(n), n.memory_free_mb, n.name))
 

@@ -112,10 +112,12 @@ class ReclamationPlan:
 # Helpers
 # ----------------------------------------------------------------------
 def _total_cpu(containers: Sequence[ContainerLike]) -> float:
+    """Sum of the containers' current CPU allocations."""
     return sum(c.current_cpu for c in containers)
 
 
 def _sorted_smallest_first(containers: Sequence[ContainerLike]) -> List[ContainerLike]:
+    """Containers ordered smallest current CPU first (id as tie-break)."""
     return sorted(containers, key=lambda c: (c.current_cpu, c.container_id))
 
 
@@ -229,6 +231,7 @@ class DeflationPolicy:
         increment: float = 0.05,
         allow_deflated_creation: bool = True,
     ) -> None:
+        """Configure the deflation threshold and per-step increment."""
         if not 0 < threshold < 1:
             raise ValueError("threshold must be in (0, 1)")
         if not 0 < increment <= threshold:

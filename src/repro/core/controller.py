@@ -87,6 +87,7 @@ class ControllerConfig:
     online_learning: bool = True
 
     def __post_init__(self) -> None:
+        """Validate the configuration parameters."""
         if self.epoch_length <= 0:
             raise ValueError("epoch_length must be positive")
         if self.rate_sample_interval <= 0:
@@ -142,6 +143,7 @@ class LassController:
         service_profiles: Optional[Dict[str, ServiceTimeProfile]] = None,
         default_service_rates: Optional[Dict[str, float]] = None,
     ) -> None:
+        """Wire the controller to the cluster and build its per-function state."""
         self.engine = engine
         self.cluster = cluster
         self.config = config or ControllerConfig()
@@ -249,11 +251,13 @@ class LassController:
             self._create_containers(request.function_name, 1)
 
     def _on_container_warm(self, container: Container) -> None:
+        """A container finished cold start: drain its function's queue onto it."""
         if container.function_name not in self._functions:
             return
         self.dispatcher.drain(container.function_name)
 
     def _record_completion(self, request: Request, container: Container) -> None:
+        """Completion callback: metrics plus optional online service-time learning."""
         self.metrics.record_completion(request)
         if self.config.online_learning and request.service_time is not None:
             state = self._functions.get(request.function_name)
@@ -264,6 +268,7 @@ class LassController:
     # Control path
     # ------------------------------------------------------------------
     def _epoch_tick(self) -> None:
+        """Run one control epoch, then reschedule the next tick."""
         self.run_epoch()
         self.engine.schedule(
             self.config.epoch_length, self._epoch_tick, priority=SimulationEngine.PRIORITY_CONTROL
@@ -343,12 +348,14 @@ class LassController:
         return snapshot
 
     def _drain_all_queues(self) -> None:
+        """Push queued requests onto any containers that can now take them."""
         for name in self._functions:
             if self.dispatcher.queue_length(name):
                 self.dispatcher.drain(name)
 
     # -- model-driven decision per function ----------------------------
     def _decide(self, name: str, state: _FunctionState, now: float) -> ScalingDecision:
+        """Rate estimation + queueing model for one function's scaling decision."""
         observation = state.rate_estimator.estimate(now)
         if observation.burst_detected:
             self.metrics.increment("burst_switches")
@@ -375,6 +382,7 @@ class LassController:
         )
 
     def _service_rate(self, state: _FunctionState, cpu_fraction: float) -> float:
+        """Best current estimate of the per-container service rate at a CPU fraction."""
         if self.config.online_learning:
             learned = state.online_service.service_rate(cpu_fraction)
             if learned is not None and state.online_service.observations(cpu_fraction) >= 20:
@@ -384,6 +392,7 @@ class LassController:
         return state.default_service_rate
 
     def _service_time_percentile(self, state: _FunctionState) -> Optional[float]:
+        """Service-time percentile used to tighten the wait budget, if known."""
         if state.profile is not None:
             return state.profile.percentile(self.config.percentile)
         if self.config.online_learning:
@@ -393,6 +402,7 @@ class LassController:
     # -- no-pressure path (§3.3) ----------------------------------------
     def _apply_normal_scaling(self, decisions: Dict[str, ScalingDecision]) -> None:
         # Scale down first (lazily), so freed capacity is visible to scale-ups.
+        """Apply the epoch's decisions when the cluster is not overloaded."""
         for name, decision in decisions.items():
             if decision.scale_down:
                 self._scale_down(name, -decision.delta)
@@ -409,6 +419,7 @@ class LassController:
                 self._scale_up(name, needed)
 
     def _scale_down(self, name: str, count: int) -> None:
+        """Lazily mark ``count`` of a function's containers for termination."""
         live = self.cluster.containers_of(name, include_draining=False)
         victims = sorted(live, key=lambda c: (c.current_cpu, c.container_id))[:count]
         for container in victims:
@@ -419,6 +430,7 @@ class LassController:
                 self._terminate(container.container_id)
 
     def _scale_up(self, name: str, count: int) -> None:
+        """Give a function ``count`` more containers: rescue draining ones, then create."""
         state = self._state(name)
         # 1) rescue draining containers of this function first (cheapest)
         draining = [
@@ -442,6 +454,7 @@ class LassController:
             self._create_containers(name, remaining)
 
     def _create_containers(self, name: str, count: int) -> int:
+        """Place and create up to ``count`` containers; returns how many succeeded."""
         state = self._state(name)
         dep = state.deployment
         requests = [PlacementRequest(name, dep.cpu, dep.memory_mb) for _ in range(count)]
@@ -454,6 +467,7 @@ class LassController:
         return created
 
     def _reclaim_draining(self, exclude: Optional[str] = None) -> None:
+        """Terminate draining containers to free capacity for other functions."""
         for container in self.cluster.all_containers():
             if container.state != ContainerState.DRAINING:
                 continue
@@ -467,6 +481,7 @@ class LassController:
     ) -> None:
         # Under pressure there is no room for lazy termination: draining
         # containers are real capacity that must be reclaimed immediately.
+        """Enforce the fair-share CPU targets through the reclamation policy."""
         self._reclaim_draining()
 
         containers_by_function = {
@@ -484,6 +499,7 @@ class LassController:
         self._execute_plan(plan)
 
     def _reclamation_policy(self):
+        """The policy object for the configured reclamation mechanism."""
         if self.config.reclamation is ReclamationPolicy.TERMINATION:
             return TerminationPolicy()
         return DeflationPolicy(
@@ -492,6 +508,7 @@ class LassController:
         )
 
     def _execute_plan(self, plan: ReclamationPlan) -> None:
+        """Execute a plan's terminate, deflate, inflate, and create actions."""
         for action in plan.terminations:
             self._terminate(action.container_id)
         for action in plan.deflations:
@@ -521,6 +538,7 @@ class LassController:
                 self.metrics.increment("creations")
 
     def _terminate(self, container_id: str) -> None:
+        """Terminate one container by id (immediately, not lazily)."""
         container = self.cluster.get_container(container_id)
         if container is None:
             return
@@ -536,6 +554,7 @@ class LassController:
     # Introspection
     # ------------------------------------------------------------------
     def _state(self, name: str) -> _FunctionState:
+        """Per-function controller state, with a descriptive ``KeyError``."""
         try:
             return self._functions[name]
         except KeyError:
@@ -552,6 +571,7 @@ class LassController:
     def _snapshot(
         self, now: float, overloaded: bool, decisions: Dict[str, ScalingDecision]
     ) -> EpochSnapshot:
+        """Build the epoch snapshot recorded into the metrics timeline."""
         functions: Dict[str, FunctionEpochStats] = {}
         for name, state in self._functions.items():
             live = self.cluster.containers_of(name, include_draining=False)

@@ -46,6 +46,7 @@ from repro.sim.request import Request, RequestStatus
 
 
 def _idle_sort_key(container: Container):
+    """Dispatch preference: smallest current CPU first (id as tie-break)."""
     return (container.current_cpu, container.container_id)
 
 
@@ -66,6 +67,7 @@ class SharedQueueDispatcher:
         engine: SimulationEngine,
         on_complete: Optional[Callable[[Request, Container], None]] = None,
     ) -> None:
+        """Create an empty dispatcher and bind the completion callback."""
         self.engine = engine
         self.balancer = WeightedRoundRobinBalancer()
         self._queues: Dict[str, Deque[Request]] = {}
@@ -113,6 +115,7 @@ class SharedQueueDispatcher:
         self._on_container_state(container)
 
     def _on_container_state(self, container: Container) -> None:
+        """Observer hook: keep the per-function idle set in sync."""
         if container.is_dispatchable:
             self._idle.setdefault(container.function_name, {})[container.container_id] = container
         else:
@@ -121,11 +124,13 @@ class SharedQueueDispatcher:
                 index.pop(container.container_id, None)
 
     def _mark_busy(self, container: Container) -> None:
+        """Remove a container from its function's idle set."""
         index = self._idle.get(container.function_name)
         if index is not None:
             index.pop(container.container_id, None)
 
     def _mark_idle_if_free(self, container: Container) -> None:
+        """Re-add a container to the idle set if it can take more work."""
         if not self._attached:
             return
         if container.is_dispatchable:
@@ -236,6 +241,7 @@ class SharedQueueDispatcher:
             self._queues.setdefault(request.function_name, deque()).appendleft(request)
 
     def _completion_hook(self, request: Request, container: Container) -> None:
+        """Completion callback: notify the owner, then reuse the freed container."""
         if self._on_complete is not None:
             self._on_complete(request, container)
         # the container just went idle: pull the next queued request onto it

@@ -25,6 +25,7 @@ class EwmaEstimator:
     """
 
     def __init__(self, alpha: float = 0.7, initial: Optional[float] = None) -> None:
+        """Configure the smoothing factor and optional initial estimate."""
         if not 0 < alpha <= 1:
             raise ValueError("alpha must be in (0, 1]")
         self.alpha = float(alpha)

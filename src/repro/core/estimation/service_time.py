@@ -54,6 +54,7 @@ class ServiceTimeProfile:
     distribution: ServiceTimeDistribution = field(default_factory=lambda: Exponential(0.1))
 
     def __post_init__(self) -> None:
+        """Validate the profile table's shape and ordering."""
         if len(self.cpu_fractions) != len(self.mean_service_times):
             raise ValueError("cpu_fractions and mean_service_times must have equal length")
         if len(self.cpu_fractions) == 0:
@@ -121,6 +122,7 @@ class StreamingQuantile:
     """
 
     def __init__(self, max_samples: int = 4096, seed: int = 17) -> None:
+        """Configure the reservoir size and its deterministic RNG seed."""
         if max_samples < 10:
             raise ValueError("max_samples must be at least 10")
         self.max_samples = int(max_samples)
@@ -184,6 +186,7 @@ class OnlineServiceTimeEstimator:
     """
 
     def __init__(self, bucket_width: float = 0.1, max_samples_per_bucket: int = 1024) -> None:
+        """Configure the CPU-fraction bucketing and per-bucket reservoirs."""
         if not 0 < bucket_width <= 1:
             raise ValueError("bucket_width must be in (0, 1]")
         self.bucket_width = float(bucket_width)
@@ -194,6 +197,7 @@ class OnlineServiceTimeEstimator:
         self._totals: Dict[int, List[float]] = {}
 
     def _bucket(self, cpu_fraction: float) -> int:
+        """Bucket index for a CPU fraction."""
         if cpu_fraction <= 0:
             raise ValueError("cpu_fraction must be positive")
         return int(round(min(1.0, cpu_fraction) / self.bucket_width))

@@ -54,6 +54,7 @@ class SlidingWindowCounter:
     """
 
     def __init__(self, window_length: float, bucket_width: Optional[float] = None) -> None:
+        """Size the ring buffer for the window length and bucket width."""
         if window_length <= 0:
             raise ValueError("window length must be positive")
         self.window_length = float(window_length)
@@ -184,6 +185,7 @@ class DualWindowRateEstimator:
         burst_factor: float = 2.0,
         bucket_width: Optional[float] = None,
     ) -> None:
+        """Configure the long/short windows and the burst-switch factor."""
         if short_window >= long_window:
             raise ValueError("short window must be shorter than the long window")
         if burst_factor <= 1.0:

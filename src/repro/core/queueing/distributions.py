@@ -51,6 +51,7 @@ class ServiceTimeDistribution(abc.ABC):
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Debugging summary with the distribution's mean."""
         return f"{type(self).__name__}(mean={self.mean:.4f})"
 
 
@@ -58,22 +59,27 @@ class Exponential(ServiceTimeDistribution):
     """Exponential service times (the paper's modelling assumption)."""
 
     def __init__(self, mean: float) -> None:
+        """Exponential distribution with the given mean."""
         if mean <= 0:
             raise ValueError("mean must be positive")
         self._mean = float(mean)
 
     @property
     def mean(self) -> float:
+        """Mean service time."""
         return self._mean
 
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw one value (or ``size`` values) from the distribution."""
         return rng.exponential(self._mean, size=size)
 
     def percentile(self, p: float) -> float:
+        """The ``p``-th quantile."""
         _check_percentile(p)
         return -self._mean * math.log(1.0 - p)
 
     def scaled(self, factor: float) -> "Exponential":
+        """A copy with the mean scaled by ``factor``."""
         return Exponential(self._mean * factor)
 
 
@@ -81,24 +87,29 @@ class Deterministic(ServiceTimeDistribution):
     """Constant service times (e.g. the configurable micro-benchmark)."""
 
     def __init__(self, mean: float) -> None:
+        """Point mass at ``mean``."""
         if mean <= 0:
             raise ValueError("mean must be positive")
         self._mean = float(mean)
 
     @property
     def mean(self) -> float:
+        """Mean service time."""
         return self._mean
 
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Return the constant (or an array of it); consumes no randomness."""
         if size is None:
             return self._mean
         return np.full(size, self._mean)
 
     def percentile(self, p: float) -> float:
+        """The ``p``-th quantile (the constant itself)."""
         _check_percentile(p)
         return self._mean
 
     def scaled(self, factor: float) -> "Deterministic":
+        """A copy with the mean scaled by ``factor``."""
         return Deterministic(self._mean * factor)
 
 
@@ -109,6 +120,7 @@ class LogNormal(ServiceTimeDistribution):
     """
 
     def __init__(self, mean: float, cv: float = 0.25) -> None:
+        """Log-normal with the given mean and coefficient of variation."""
         if mean <= 0:
             raise ValueError("mean must be positive")
         if cv <= 0:
@@ -120,6 +132,7 @@ class LogNormal(ServiceTimeDistribution):
 
     @property
     def mean(self) -> float:
+        """Mean service time."""
         return self._mean
 
     @property
@@ -128,15 +141,18 @@ class LogNormal(ServiceTimeDistribution):
         return self._cv
 
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw one value (or ``size`` values) from the distribution."""
         return rng.lognormal(self._mu, math.sqrt(self._sigma2), size=size)
 
     def percentile(self, p: float) -> float:
+        """The ``p``-th quantile."""
         _check_percentile(p)
         from scipy.stats import norm
 
         return math.exp(self._mu + math.sqrt(self._sigma2) * norm.ppf(p))
 
     def scaled(self, factor: float) -> "LogNormal":
+        """A copy with the mean scaled by ``factor`` (same CV)."""
         return LogNormal(self._mean * factor, self._cv)
 
 
@@ -148,6 +164,7 @@ class ShiftedExponential(ServiceTimeDistribution):
     """
 
     def __init__(self, shift: float, tail_mean: float) -> None:
+        """Constant ``shift`` plus an exponential tail with mean ``tail_mean``."""
         if shift < 0:
             raise ValueError("shift must be non-negative")
         if tail_mean <= 0:
@@ -157,6 +174,7 @@ class ShiftedExponential(ServiceTimeDistribution):
 
     @property
     def mean(self) -> float:
+        """Mean service time (shift plus tail mean)."""
         return self._shift + self._tail_mean
 
     @property
@@ -165,17 +183,21 @@ class ShiftedExponential(ServiceTimeDistribution):
         return self._shift
 
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw one value (or ``size`` values) from the distribution."""
         return self._shift + rng.exponential(self._tail_mean, size=size)
 
     def percentile(self, p: float) -> float:
+        """The ``p``-th quantile."""
         _check_percentile(p)
         return self._shift - self._tail_mean * math.log(1.0 - p)
 
     def scaled(self, factor: float) -> "ShiftedExponential":
+        """A copy with both shift and tail mean scaled by ``factor``."""
         return ShiftedExponential(self._shift * factor, self._tail_mean * factor)
 
 
 def _check_percentile(p: float) -> None:
+    """Validate that ``p`` lies strictly inside (0, 1)."""
     if not 0 < p < 1:
         raise ValueError("percentile must be in (0, 1)")
 

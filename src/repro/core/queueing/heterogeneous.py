@@ -45,6 +45,7 @@ class HeterogeneousMMcQueue:
     mus: Tuple[float, ...]
 
     def __init__(self, lam: float, mus: Sequence[float]) -> None:
+        """Validate the rates and pre-sort the per-server service rates."""
         if lam < 0:
             raise ValueError("arrival rate must be non-negative")
         mus_tuple = tuple(sorted(float(m) for m in mus))

@@ -50,6 +50,7 @@ class MGcQueue:
     c: int
 
     def __post_init__(self) -> None:
+        """Validate the queue parameters."""
         if self.lam < 0:
             raise ValueError("arrival rate must be non-negative")
         if self.mean_service_time <= 0:
@@ -104,6 +105,7 @@ class MGcQueue:
         return self.utilization < 1.0
 
     def _mmc(self) -> MMcQueue:
+        """The M/M/c queue with the same λ, μ, and c (the approximation's base)."""
         return MMcQueue(self.lam, self.mu, self.c)
 
     @property

@@ -31,6 +31,7 @@ from scipy import special
 
 
 def _validate(lam: float, mu: float, c: int) -> None:
+    """Validate λ ≥ 0, μ > 0, and c ≥ 1."""
     if lam < 0:
         raise ValueError(f"arrival rate must be non-negative, got {lam}")
     if mu <= 0:
@@ -123,6 +124,7 @@ class MMcQueue:
     c: int
 
     def __post_init__(self) -> None:
+        """Validate the queue parameters."""
         _validate(self.lam, self.mu, self.c)
 
     # ------------------------------------------------------------------

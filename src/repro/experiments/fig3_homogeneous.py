@@ -8,18 +8,19 @@ measured 95th-percentile waiting time is compared against the SLO.
 
 The paper's criterion: the measured P95 waiting time should be "below
 or close to the SLO deadline" for every configuration.
+
+This module is a thin renderer: the experiment itself lives in the
+scenario registry (``repro.scenarios.registry``, name ``"fig3"``) as a
+sweep of ``kind="fixed"`` scenarios, and :func:`run_fig3` maps the
+unified scenario results back onto :class:`Fig3Point` rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
-from repro.core.queueing.sizing import required_containers
-from repro.simulation import run_fixed_allocation
-from repro.workloads.functions import microbenchmark
-from repro.workloads.generator import WorkloadBinding
-from repro.workloads.schedules import StaticRate
+from repro.scenarios import build, run_scenario
 
 
 @dataclass(frozen=True)
@@ -51,45 +52,40 @@ def run_fig3(
     warmup: float = 20.0,
     seed: int = 3,
 ) -> List[Fig3Point]:
-    """Regenerate Figure 3 (all four sub-plots).
+    """Regenerate Figure 3 (all four sub-plots) through the scenario registry.
 
     ``duration`` defaults to 300 simulated seconds per configuration
     (the paper runs 30 minutes of wall-clock time per point; the
     steady-state percentiles converge much earlier in simulation).
     """
+    sweep = build(
+        "fig3",
+        mus=mus,
+        slo_deadlines=slo_deadlines,
+        arrival_rates=arrival_rates,
+        duration=duration,
+        percentile=percentile,
+        warmup=warmup,
+        seed=seed,
+    )
+    grid = [(mu, slo, lam) for mu in mus for slo in slo_deadlines for lam in arrival_rates]
     points: List[Fig3Point] = []
-    for mu in mus:
-        profile = microbenchmark(mean_service_time=1.0 / mu)
-        for slo in slo_deadlines:
-            for lam in arrival_rates:
-                sizing = required_containers(
-                    lam=lam, mu=mu, wait_budget=slo, percentile=percentile
-                )
-                binding = WorkloadBinding(
-                    profile=profile,
-                    schedule=StaticRate(lam, duration=duration),
-                    slo_deadline=slo,
-                )
-                result = run_fixed_allocation(
-                    binding=binding,
-                    containers=sizing.containers,
-                    duration=duration,
-                    seed=seed + int(lam) + int(mu * 7) + int(slo * 1000),
-                )
-                summary = result.waiting_summary(profile.name, warmup=warmup)
-                points.append(
-                    Fig3Point(
-                        mu=mu,
-                        slo_deadline=slo,
-                        arrival_rate=lam,
-                        containers=sizing.containers,
-                        predicted_p95_bound=slo,
-                        measured_p95_wait=summary.p95,
-                        measured_mean_wait=summary.mean,
-                        measured_max_wait=summary.maximum,
-                        completed=summary.count,
-                    )
-                )
+    for (mu, slo, lam), spec in zip(grid, sweep.expand()):
+        data = run_scenario(spec).data
+        waiting = data["metrics"]["functions"]["microbenchmark"]["waiting"]
+        points.append(
+            Fig3Point(
+                mu=mu,
+                slo_deadline=slo,
+                arrival_rate=lam,
+                containers=data["allocation"]["containers"],
+                predicted_p95_bound=slo,
+                measured_p95_wait=waiting["p95"],
+                measured_mean_wait=waiting["mean"],
+                measured_max_wait=waiting["max"],
+                completed=waiting["count"],
+            )
+        )
     return points
 
 

@@ -7,6 +7,10 @@ function under-provisioned with heterogeneous containers.  LaSS reacts
 by adding standard-size containers using the Alves et al. model
 (:func:`repro.core.queueing.sizing.required_containers_heterogeneous`),
 and the measured P95 waiting time must stay below the 100 ms SLO.
+
+This module is a thin renderer over the registry sweep ``"fig4"`` — a
+grid of ``kind="fixed"`` scenarios whose ``heterogeneous`` sizing model
+derives the mixed-speed container line-up per shard.
 """
 
 from __future__ import annotations
@@ -14,16 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-import numpy as np
-
-from repro.core.queueing.sizing import (
-    required_containers,
-    required_containers_heterogeneous,
-)
-from repro.simulation import run_fixed_allocation
-from repro.workloads.functions import get_function
-from repro.workloads.generator import WorkloadBinding
-from repro.workloads.schedules import StaticRate
+from repro.scenarios import build, run_scenario
 
 
 @dataclass(frozen=True)
@@ -55,7 +50,7 @@ def run_fig4(
     warmup: float = 20.0,
     seed: int = 4,
 ) -> List[Fig4Point]:
-    """Regenerate Figure 4.
+    """Regenerate Figure 4 through the scenario registry.
 
     Parameters
     ----------
@@ -66,59 +61,35 @@ def run_fig4(
         "randomly"; 30 % — the reclamation threshold τ — is the maximum
         LaSS itself would apply).
     """
-    function = get_function("squeezenet")
-    mu = function.service_rate
-    speed = function.speed_curve()
-    deflated_speed = speed(1.0 - deflation_fraction)
+    sweep = build(
+        "fig4",
+        proportions=proportions,
+        arrival_rates=arrival_rates,
+        slo_deadline=slo_deadline,
+        deflation_fraction=deflation_fraction,
+        duration=duration,
+        percentile=percentile,
+        warmup=warmup,
+        seed=seed,
+    )
+    grid = [(proportion, lam) for proportion in proportions for lam in arrival_rates]
     points: List[Fig4Point] = []
-    rng = np.random.default_rng(seed)
-
-    for proportion in proportions:
-        for lam in arrival_rates:
-            base = required_containers(lam=lam, mu=mu, wait_budget=slo_deadline,
-                                       percentile=percentile)
-            n_deflated = int(round(proportion * base.containers))
-            n_deflated = min(n_deflated, base.containers)
-            existing_mus = [mu * deflated_speed] * n_deflated + [mu] * (
-                base.containers - n_deflated
-            )
-            total = required_containers_heterogeneous(
-                lam=lam,
-                existing_mus=existing_mus,
-                standard_mu=mu,
-                wait_budget=slo_deadline,
-                percentile=percentile,
-            )
-            # container line-up handed to the simulator: the deflated ones
-            # first, then the surviving standard ones, then the additions
-            deflation_plan = [1.0 - deflation_fraction] * n_deflated + [1.0] * (
-                total.containers - n_deflated
-            )
-            binding = WorkloadBinding(
-                profile=function,
-                schedule=StaticRate(lam, duration=duration),
+    for (proportion, lam), spec in zip(grid, sweep.expand()):
+        data = run_scenario(spec).data
+        waiting = data["metrics"]["functions"]["squeezenet"]["waiting"]
+        allocation = data["allocation"]
+        points.append(
+            Fig4Point(
+                deflated_proportion=proportion,
+                arrival_rate=lam,
+                homogeneous_containers=allocation["homogeneous_containers"],
+                deflated_containers=allocation["deflated_containers"],
+                total_containers=allocation["containers"],
                 slo_deadline=slo_deadline,
+                measured_p95_wait=waiting["p95"],
+                completed=waiting["count"],
             )
-            result = run_fixed_allocation(
-                binding=binding,
-                containers=total.containers,
-                duration=duration,
-                seed=seed + int(lam) + int(proportion * 100),
-                deflation_plan=deflation_plan,
-            )
-            summary = result.waiting_summary(function.name, warmup=warmup)
-            points.append(
-                Fig4Point(
-                    deflated_proportion=proportion,
-                    arrival_rate=lam,
-                    homogeneous_containers=base.containers,
-                    deflated_containers=n_deflated,
-                    total_containers=total.containers,
-                    slo_deadline=slo_deadline,
-                    measured_p95_wait=summary.p95,
-                    completed=summary.count,
-                )
-            )
+        )
     return points
 
 

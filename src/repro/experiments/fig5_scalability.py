@@ -13,19 +13,18 @@ binary search with numpy inner loops).  The *shape* to reproduce: the
 fast path's reaction time stays roughly flat (sub-second, typically
 well under 100 ms) as the container count grows into the thousands,
 while the reference path grows with the container count.
+
+This module is a thin renderer over the registry scenario ``"fig5"``
+(``kind="sizing_benchmark"``); the timing loop itself lives in
+:mod:`repro.scenarios.runner`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import List, Sequence
 
-from repro.core.queueing.sizing import (
-    required_containers,
-    required_containers_fast,
-    required_containers_naive,
-)
+from repro.scenarios import build, run_scenario
 
 
 @dataclass(frozen=True)
@@ -37,23 +36,6 @@ class Fig5Point:
     current_containers: int
     new_containers: int
     compute_seconds: float
-
-
-def _workload_for_containers(containers: int, mu: float, wait_budget: float,
-                             percentile: float) -> float:
-    """Find an arrival rate for which the model picks ≈ ``containers`` containers.
-
-    We invert the sizing function coarsely: the model's answer is close to
-    the offered load plus a sub-linear safety margin, so λ ≈ 0.9·c·μ is a
-    good starting point, refined with a few correction steps.
-    """
-    lam = 0.9 * containers * mu
-    for _ in range(8):
-        got = required_containers_fast(lam, mu, wait_budget, percentile).containers
-        if got == containers:
-            return lam
-        lam *= containers / max(1, got)
-    return lam
 
 
 def run_fig5(
@@ -72,41 +54,26 @@ def run_fig5(
     implementation), "reference" is the log-space incremental path, and
     "fast" is the vectorised binary-search path (the Julia stand-in).
     """
-    impl_map: dict[str, Callable] = {
-        "naive": required_containers_naive,
-        "reference": required_containers,
-        "fast": required_containers_fast,
-    }
-    spike_map = {"10%": 1.1, "2x": 2.0}
-    points: List[Fig5Point] = []
-    for count in container_counts:
-        base_lam = _workload_for_containers(count, mu, slo_deadline, percentile)
-        for spike in spikes:
-            spiked_lam = base_lam * spike_map[spike]
-            for name in implementations:
-                func = impl_map[name]
-                best = float("inf")
-                result = None
-                for _ in range(repeats):
-                    start = time.perf_counter()
-                    result = func(
-                        lam=spiked_lam,
-                        mu=mu,
-                        wait_budget=slo_deadline,
-                        percentile=percentile,
-                        current_containers=count,
-                    )
-                    best = min(best, time.perf_counter() - start)
-                points.append(
-                    Fig5Point(
-                        implementation=name,
-                        spike=spike,
-                        current_containers=count,
-                        new_containers=result.containers,
-                        compute_seconds=best,
-                    )
-                )
-    return points
+    spec = build(
+        "fig5",
+        container_counts=container_counts,
+        mu=mu,
+        slo_deadline=slo_deadline,
+        percentile=percentile,
+        spikes=spikes,
+        implementations=implementations,
+        repeats=repeats,
+    )
+    return [
+        Fig5Point(
+            implementation=row["implementation"],
+            spike=row["spike"],
+            current_containers=row["current_containers"],
+            new_containers=row["new_containers"],
+            compute_seconds=row["compute_seconds"],
+        )
+        for row in run_scenario(spec).data["rows"]
+    ]
 
 
 def format_fig5(points: Sequence[Fig5Point]) -> str:

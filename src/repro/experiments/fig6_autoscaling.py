@@ -10,19 +10,22 @@ Two functions run side by side with no resource pressure:
 The expected result (Figure 6b): the number of containers allocated to
 each function tracks its own workload up and down, and the constant
 function's allocation stays constant.
+
+This module is a thin renderer over the registry scenario ``"fig6"``
+(``kind="simulate"``); the staircase definitions live in
+:func:`repro.scenarios.registry.fig6_rate_profiles`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.cluster.cluster import ClusterConfig
-from repro.core.controller import ControllerConfig
-from repro.simulation import SimulationResult, SimulationRunner
-from repro.workloads.functions import get_function, microbenchmark
-from repro.workloads.generator import WorkloadBinding
-from repro.workloads.schedules import StepSchedule
+from repro.scenarios import ClusterSpec, build, run_scenario
+from repro.scenarios.registry import fig6_rate_profiles
+from repro.simulation import SimulationResult
 
 
 @dataclass
@@ -52,16 +55,9 @@ def default_rate_profiles() -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
 
     First half: micro-benchmark 5→30→5 in steps of 5, MobileNet constant 3.
     Second half: micro-benchmark constant 5, MobileNet 3→8→3 in steps of 1.
+    (Delegates to the canonical definition in the scenario registry.)
     """
-    micro_up = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
-    micro_down = (25.0, 20.0, 15.0, 10.0, 5.0)
-    mobile_up = (3.0, 4.0, 5.0, 6.0, 7.0, 8.0)
-    mobile_down = (7.0, 6.0, 5.0, 4.0, 3.0)
-    first_half_len = len(micro_up) + len(micro_down)
-    second_half_len = len(mobile_up) + len(mobile_down)
-    micro = micro_up + micro_down + (5.0,) * second_half_len
-    mobile = (3.0,) * first_half_len + mobile_up + mobile_down
-    return micro, mobile
+    return fig6_rate_profiles()
 
 
 def run_fig6(
@@ -69,32 +65,20 @@ def run_fig6(
     cluster_config: ClusterConfig | None = None,
     seed: int = 6,
 ) -> Fig6Result:
-    """Regenerate Figure 6.
+    """Regenerate Figure 6 through the scenario registry.
 
     ``step_duration`` is the time each rate level is held; the paper holds
     each level for several minutes, 60 s keeps the default run short while
     spanning several control epochs per level.
     """
+    spec = build("fig6", step_duration=step_duration, seed=seed)
+    if cluster_config is not None:
+        spec = dataclasses.replace(
+            spec, cluster=ClusterSpec(**dataclasses.asdict(cluster_config))
+        )
+    outcome = run_scenario(spec)
+    result = outcome.sim
     micro_rates, mobilenet_rates = default_rate_profiles()
-    micro_schedule = StepSchedule.staircase(micro_rates, step_duration)
-    mobile_schedule = StepSchedule.staircase(mobilenet_rates, step_duration)
-    duration = step_duration * len(micro_rates)
-
-    # a roomy cluster: the point of this experiment is "no resource pressure"
-    cluster_config = cluster_config or ClusterConfig(
-        node_count=6, cpu_per_node=8.0, memory_per_node_mb=32 * 1024.0
-    )
-    runner = SimulationRunner(
-        workloads=[
-            WorkloadBinding(microbenchmark(0.1), micro_schedule, slo_deadline=0.1),
-            WorkloadBinding(get_function("mobilenet"), mobile_schedule, slo_deadline=0.5),
-        ],
-        cluster_config=cluster_config,
-        controller_config=ControllerConfig(epoch_length=10.0),
-        seed=seed,
-        warm_start_containers={"microbenchmark": 1, "mobilenet": 1},
-    )
-    result = runner.run(duration=duration)
     return Fig6Result(
         step_duration=step_duration,
         micro_rates=tuple(micro_rates),

@@ -16,6 +16,10 @@ profiles (fast, used by the benchmark), and a *measured* mode that runs
 each (function, deflation level) pair through the simulator at low load
 and reports the empirical mean service time — verifying that the
 simulator's containers actually honour the deflation response.
+
+This module is a thin renderer over the registry scenario ``"fig7"``
+(``kind="deflation_curve"``); both evaluation modes live in
+:mod:`repro.scenarios.runner`.
 """
 
 from __future__ import annotations
@@ -23,20 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.simulation import run_fixed_allocation
-from repro.workloads.functions import FUNCTION_CATALOG, FunctionProfile, get_function
-from repro.workloads.generator import WorkloadBinding
-from repro.workloads.schedules import StaticRate
-
-#: The six realistic functions shown in Figure 7 (the micro-benchmark is excluded).
-FIG7_FUNCTIONS = (
-    "geofence",
-    "binaryalert",
-    "image-resizer",
-    "squeezenet",
-    "shufflenet",
-    "mobilenet",
-)
+from repro.scenarios import build, run_scenario
+from repro.scenarios.registry import FIG7_FUNCTIONS
 
 
 @dataclass(frozen=True)
@@ -57,7 +49,7 @@ def run_fig7(
     duration: float = 60.0,
     seed: int = 7,
 ) -> List[Fig7Point]:
-    """Regenerate Figure 7 (both sub-plots: non-DNN and DNN functions).
+    """Regenerate Figure 7 (both sub-plots) through the scenario registry.
 
     Parameters
     ----------
@@ -66,48 +58,24 @@ def run_fig7(
         simulator and report empirical means; otherwise evaluate the
         profiles' deflation response curves directly.
     """
-    points: List[Fig7Point] = []
-    for name in functions:
-        profile = get_function(name)
-        baseline = profile.mean_service_time
-        for ratio in deflation_ratios:
-            if measured:
-                service_time = _measured_service_time(profile, ratio, duration, seed)
-            else:
-                service_time = profile.service_time_at(1.0 - ratio)
-            points.append(
-                Fig7Point(
-                    function_name=name,
-                    is_dnn=profile.is_dnn,
-                    deflation_ratio=ratio,
-                    service_time=service_time,
-                    relative_slowdown=service_time / baseline,
-                )
-            )
-    return points
-
-
-def _measured_service_time(
-    profile: FunctionProfile, ratio: float, duration: float, seed: int
-) -> float:
-    """Empirical mean service time at one deflation level (single container, light load)."""
-    # light load: well below one container's capacity so queueing never interferes
-    lam = 0.3 * profile.service_rate
-    binding = WorkloadBinding(
-        profile=profile, schedule=StaticRate(lam, duration=duration), slo_deadline=None
-    )
-    result = run_fixed_allocation(
-        binding=binding,
-        containers=1,
+    spec = build(
+        "fig7",
+        functions=functions,
+        deflation_ratios=deflation_ratios,
+        measured=measured,
         duration=duration,
         seed=seed,
-        deflation_plan=[1.0 - ratio],
     )
-    completed = result.metrics.completed_requests(profile.name)
-    times = [r.service_time for r in completed if r.service_time is not None]
-    if not times:
-        return float("nan")
-    return sum(times) / len(times)
+    return [
+        Fig7Point(
+            function_name=row["function"],
+            is_dnn=row["is_dnn"],
+            deflation_ratio=row["deflation_ratio"],
+            service_time=row["service_time"],
+            relative_slowdown=row["relative_slowdown"],
+        )
+        for row in run_scenario(spec).data["rows"]
+    ]
 
 
 def format_fig7(points: Sequence[Fig7Point]) -> str:

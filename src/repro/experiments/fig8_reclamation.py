@@ -24,23 +24,23 @@ baseline.  The paper's findings to reproduce:
   much CPU as under termination;
 * vanilla OpenWhisk suffers a cascading invoker failure and cannot
   finish the experiment.
+
+This module is a thin renderer over the registry sweep ``"fig8"``: the
+five-phase workload and all three arms are declared in
+:mod:`repro.scenarios.registry`, and this module turns the per-arm
+scenario results into the policy-comparison statistics above.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.baselines.openwhisk import OpenWhiskConfig, VanillaOpenWhiskController
-from repro.cluster.cluster import ClusterConfig, EdgeCluster
-from repro.core.controller import ControllerConfig, ReclamationPolicy
-from repro.metrics.collector import MetricsCollector
-from repro.simulation import SimulationResult, SimulationRunner
-from repro.sim.engine import SimulationEngine
-from repro.sim.rng import RngStreams
-from repro.workloads.functions import get_function
-from repro.workloads.generator import ArrivalGenerator, WorkloadBinding
-from repro.workloads.schedules import StepSchedule
+from repro.core.controller import ReclamationPolicy
+from repro.scenarios import build, run_scenario
+from repro.scenarios.runner import ScenarioOutcome
+from repro.simulation import SimulationResult
+from repro.workloads.generator import WorkloadBinding
 
 
 @dataclass
@@ -105,61 +105,29 @@ def build_workloads(phase_duration: float) -> Tuple[List[WorkloadBinding], float
     * phase 4 — BinaryAlert's demand exceeds its share too, so both
       functions are capped at 6 vCPU;
     * phase 5 — MobileNet's burst ends.
+
+    (The canonical definition is the ``"fig8"`` registry entry; this
+    helper materialises its workload bindings for callers that drive the
+    simulator directly.)
     """
-    binaryalert = get_function("binaryalert")
-    mobilenet = get_function("mobilenet")
-    duration = 5 * phase_duration
-    binary_schedule = StepSchedule(
-        [
-            (0.0, 50.0),
-            (2 * phase_duration, 70.0),
-            (3 * phase_duration, 240.0),
-            (4 * phase_duration, 240.0),
-        ],
-        duration=duration,
-    )
-    mobilenet_schedule = StepSchedule(
-        [
-            (0.0, 0.0),
-            (phase_duration, 11.0),
-            (4 * phase_duration, 0.0),
-        ],
-        duration=duration,
-    )
-    bindings = [
-        WorkloadBinding(binaryalert, binary_schedule, slo_deadline=0.1, weight=1.0, user="user-1"),
-        WorkloadBinding(mobilenet, mobilenet_schedule, slo_deadline=0.5, weight=1.0, user="user-2"),
-    ]
-    return bindings, duration
+    base = build("fig8", phase_duration=phase_duration).base
+    return [w.build() for w in base.workloads], base.duration
 
 
-def _run_policy(
-    policy: ReclamationPolicy,
-    phase_duration: float,
-    seed: int,
-) -> Fig8PolicyOutcome:
-    bindings, duration = build_workloads(phase_duration)
-    runner = SimulationRunner(
-        workloads=bindings,
-        cluster_config=ClusterConfig(),  # the paper's 3 × (4 vCPU, 16 GB)
-        controller_config=ControllerConfig(
-            epoch_length=10.0,
-            reclamation=policy,
-        ),
-        seed=seed,
-        warm_start_containers={"binaryalert": 1},
-    )
-    result = runner.run(duration=duration)
+def _policy_outcome(outcome: ScenarioOutcome, phase_duration: float) -> Fig8PolicyOutcome:
+    """Compute one arm's fair-share/utilisation statistics from its scenario run."""
+    result = outcome.sim
     metrics = result.metrics
-    guaranteed = runner.controller.guaranteed_cpu_shares()
+    guaranteed = result.controller.guaranteed_cpu_shares()
+    policy = outcome.spec.controller.reclamation
 
     overload_start = 2 * phase_duration
     overload_end = 4 * phase_duration
     min_cpu: Dict[str, float] = {}
     mean_cpu: Dict[str, float] = {}
     violations: Dict[str, float] = {}
-    for binding in bindings:
-        name = binding.profile.name
+    for workload in outcome.spec.workloads:
+        name = workload.function
         series = metrics.timeline.series(name)
         overload_points = [p for p in series if overload_start <= p.time <= overload_end]
         cpu_values = [p.cpu for p in overload_points]
@@ -167,15 +135,16 @@ def _run_policy(
         mean_cpu[name] = sum(cpu_values) / len(cpu_values) if cpu_values else 0.0
         # a "violation" epoch: the function wanted more than its guaranteed
         # share but held less than it
+        standard_cpu = result.cluster.deployment(name).cpu
         violation_epochs = 0
         for point in overload_points:
-            wanted = (point.desired_containers or 0) * runner.cluster.deployment(name).cpu
-            if wanted > guaranteed[name] + 1e-9 and point.cpu < guaranteed[name] - runner.cluster.deployment(name).cpu:
+            wanted = (point.desired_containers or 0) * standard_cpu
+            if wanted > guaranteed[name] + 1e-9 and point.cpu < guaranteed[name] - standard_cpu:
                 violation_epochs += 1
         violations[name] = violation_epochs / len(overload_points) if overload_points else 0.0
 
     return Fig8PolicyOutcome(
-        policy=policy.value,
+        policy=policy,
         mean_utilization=metrics.mean_utilization(),
         overload_utilization=metrics.utilization.mean_utilization(overload_start, overload_end),
         min_cpu_by_function=min_cpu,
@@ -194,52 +163,32 @@ def _run_policy(
     )
 
 
-def _run_openwhisk(phase_duration: float, seed: int) -> Fig8BaselineOutcome:
-    bindings, duration = build_workloads(phase_duration)
-    engine = SimulationEngine()
-    rng = RngStreams(seed)
-    cluster = EdgeCluster(engine, ClusterConfig())
-    metrics = MetricsCollector()
-    for binding in bindings:
-        cluster.deploy(
-            binding.profile.to_deployment(
-                weight=binding.weight, user=binding.user, slo_deadline=binding.slo_deadline
-            )
-        )
-    controller = VanillaOpenWhiskController(engine, cluster, OpenWhiskConfig(), metrics)
-    controller.start()
-    generators = []
-    for binding in bindings:
-        generator = ArrivalGenerator(
-            engine=engine,
-            profile=binding.profile,
-            schedule=binding.schedule,
-            dispatch=controller.dispatch,
-            rng=rng.stream(f"arrivals:{binding.profile.name}"),
-            slo_deadline=binding.slo_deadline,
-            horizon=duration,
-        )
-        generator.start()
-        generators.append(generator)
-    engine.run(until=duration + 5.0)
-    return Fig8BaselineOutcome(
-        failed_invokers=len(controller.failed_nodes()),
-        all_invokers_failed=controller.all_invokers_failed,
-        completions=metrics.counters.get("completions", 0),
-        arrivals=metrics.counters.get("arrivals", 0),
-        drops=metrics.counters.get("drops", 0) + metrics.counters.get("stranded_requests", 0),
-    )
-
-
 def run_fig8(
     phase_duration: float = 180.0,
     seed: int = 8,
     include_openwhisk: bool = True,
 ) -> Fig8Result:
     """Regenerate Figure 8: the staged overload under all three controllers."""
-    termination = _run_policy(ReclamationPolicy.TERMINATION, phase_duration, seed)
-    deflation = _run_policy(ReclamationPolicy.DEFLATION, phase_duration, seed)
-    openwhisk = _run_openwhisk(phase_duration, seed) if include_openwhisk else None
+    sweep = build("fig8", phase_duration=phase_duration, seed=seed,
+                  include_openwhisk=include_openwhisk)
+    termination = deflation = None
+    openwhisk: Optional[Fig8BaselineOutcome] = None
+    for spec in sweep.expand():
+        outcome = run_scenario(spec)
+        if spec.kind == "openwhisk":
+            ow = outcome.data["openwhisk"]
+            openwhisk = Fig8BaselineOutcome(
+                failed_invokers=ow["failed_invokers"],
+                all_invokers_failed=ow["all_invokers_failed"],
+                completions=ow["completions"],
+                arrivals=ow["arrivals"],
+                drops=ow["drops"],
+            )
+        elif spec.controller.reclamation == ReclamationPolicy.TERMINATION.value:
+            termination = _policy_outcome(outcome, phase_duration)
+        else:
+            deflation = _policy_outcome(outcome, phase_duration)
+    assert termination is not None and deflation is not None
     return Fig8Result(
         phase_duration=phase_duration,
         termination=termination,

@@ -16,6 +16,11 @@ Findings to reproduce:
 * under both policies every function receives at least its fair share
   whenever it wants it, and functions whose demand is below their fair
   share are unaffected by the choice of policy.
+
+This module is a thin renderer over the registry sweep ``"fig9"``: the
+trace synthesis, user split, and both policy arms are declared in
+:mod:`repro.scenarios.registry` (which also owns the user/weight/SLO
+constants re-exported here).
 """
 
 from __future__ import annotations
@@ -23,35 +28,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
-from repro.cluster.cluster import ClusterConfig
 from repro.core.allocation.hierarchy import SchedulingTree
-from repro.core.controller import ControllerConfig, ReclamationPolicy
-from repro.simulation import SimulationResult, SimulationRunner
-from repro.workloads.azure import DEFAULT_AZURE_CONFIGS, synthesize_azure_traces
-from repro.workloads.functions import get_function
-from repro.workloads.generator import WorkloadBinding
-
-#: user → functions split used in the experiment (user-2 has twice the weight)
-DEFAULT_USER_ASSIGNMENT: Dict[str, str] = {
-    "shufflenet": "user-1",
-    "geofence": "user-1",
-    "image-resizer": "user-1",
-    "mobilenet": "user-2",
-    "squeezenet": "user-2",
-    "binaryalert": "user-2",
-}
-
-DEFAULT_USER_WEIGHTS: Dict[str, float] = {"user-1": 1.0, "user-2": 2.0}
-
-#: per-function SLO deadlines (seconds); DNN functions get looser deadlines
-DEFAULT_SLO_DEADLINES: Dict[str, float] = {
-    "mobilenet": 0.5,
-    "shufflenet": 0.3,
-    "squeezenet": 0.2,
-    "binaryalert": 0.1,
-    "geofence": 0.1,
-    "image-resizer": 0.15,
-}
+from repro.core.controller import ReclamationPolicy
+from repro.scenarios import build, run_scenario
+from repro.scenarios.registry import (
+    FIG9_SLO_DEADLINES as DEFAULT_SLO_DEADLINES,
+    FIG9_USER_ASSIGNMENT as DEFAULT_USER_ASSIGNMENT,
+    FIG9_USER_WEIGHTS as DEFAULT_USER_WEIGHTS,
+)
+from repro.scenarios.runner import ScenarioOutcome
+from repro.simulation import SimulationResult
 
 
 @dataclass
@@ -98,40 +84,13 @@ def build_tree(
     return SchedulingTree.two_level(dict(user_weights), dict(assignment))
 
 
-def _run_policy(
-    policy: ReclamationPolicy,
-    duration_minutes: int,
-    seed: int,
-    trace_seed: int,
-) -> Fig9PolicyOutcome:
-    schedules = synthesize_azure_traces(
-        DEFAULT_AZURE_CONFIGS, duration_minutes=duration_minutes, seed=trace_seed
-    )
-    bindings = []
-    for name, schedule in schedules.items():
-        bindings.append(
-            WorkloadBinding(
-                profile=get_function(name),
-                schedule=schedule,
-                slo_deadline=DEFAULT_SLO_DEADLINES.get(name, 0.2),
-                user=DEFAULT_USER_ASSIGNMENT.get(name, "user-1"),
-            )
-        )
-    runner = SimulationRunner(
-        workloads=bindings,
-        cluster_config=ClusterConfig(),
-        controller_config=ControllerConfig(epoch_length=10.0, reclamation=policy),
-        scheduling_tree=build_tree(),
-        seed=seed,
-        warm_start_containers={name: 1 for name in schedules},
-    )
-    duration = duration_minutes * 60.0
-    result = runner.run(duration=duration)
+def _policy_outcome(outcome: ScenarioOutcome) -> Fig9PolicyOutcome:
+    """Compute one policy arm's utilisation/churn statistics from its scenario run."""
+    result = outcome.sim
     metrics = result.metrics
-    guaranteed = runner.controller.guaranteed_cpu_shares()
-    mean_cpu = {
-        name: metrics.timeline.mean_cpu(name) for name in schedules
-    }
+    guaranteed = result.controller.guaranteed_cpu_shares()
+    names = [w.function for w in outcome.spec.workloads]
+    mean_cpu = {name: metrics.timeline.mean_cpu(name) for name in names}
     operations = {
         "creations": metrics.counters.get("creations", 0),
         "terminations": metrics.counters.get("terminations", 0),
@@ -139,7 +98,7 @@ def _run_policy(
         "inflations": metrics.counters.get("inflations", 0),
     }
     return Fig9PolicyOutcome(
-        policy=policy.value,
+        policy=outcome.spec.controller.reclamation,
         mean_utilization=metrics.mean_utilization(),
         unused_fraction=1.0 - metrics.mean_utilization(),
         completions=metrics.counters.get("completions", 0),
@@ -157,21 +116,33 @@ def run_fig9(
     seed: int = 9,
     trace_seed: int = 2019,
 ) -> Fig9Result:
-    """Regenerate Figure 9: Azure-trace replay under both reclamation policies.
+    """Regenerate Figure 9 through the scenario registry.
 
     The same synthetic traces (same ``trace_seed``) are replayed for both
     policies, so the comparison isolates the reclamation mechanism.
     """
-    termination = _run_policy(ReclamationPolicy.TERMINATION, duration_minutes, seed, trace_seed)
-    deflation = _run_policy(ReclamationPolicy.DEFLATION, duration_minutes, seed, trace_seed)
-    schedules = synthesize_azure_traces(
-        DEFAULT_AZURE_CONFIGS, duration_minutes=duration_minutes, seed=trace_seed
-    )
+    sweep = build("fig9", duration_minutes=duration_minutes, seed=seed,
+                  trace_seed=trace_seed)
+    termination = deflation = None
+    trace_totals: Dict[str, float] = {}
+    for spec in sweep.expand():
+        outcome = run_scenario(spec)
+        arm = _policy_outcome(outcome)
+        if arm.policy == ReclamationPolicy.TERMINATION.value:
+            termination = arm
+        else:
+            deflation = arm
+        if not trace_totals:
+            trace_totals = {
+                w.function: w.schedule.build().total_invocations()
+                for w in spec.workloads
+            }
+    assert termination is not None and deflation is not None
     return Fig9Result(
         duration_minutes=duration_minutes,
         termination=termination,
         deflation=deflation,
-        trace_totals={name: schedule.total_invocations() for name, schedule in schedules.items()},
+        trace_totals=trace_totals,
     )
 
 

@@ -1,15 +1,22 @@
-"""Table 1: the function catalogue used in the evaluation."""
+"""Table 1: the function catalogue used in the evaluation.
+
+A thin renderer over the registry scenario ``"table1"``
+(``kind="catalogue"``); the catalogue itself lives in
+:mod:`repro.workloads.functions`.
+"""
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.workloads.functions import FUNCTION_CATALOG, table1_rows
+from repro.scenarios import build, run_scenario
+from repro.workloads.functions import FUNCTION_CATALOG
 
 
 def run_table1() -> Tuple[Tuple[str, str, str], ...]:
     """Regenerate Table 1 as ``(function, language, standard size)`` rows."""
-    return table1_rows()
+    rows = run_scenario(build("table1")).data["rows"]
+    return tuple((r["function"], r["language"], r["standard_size"]) for r in rows)
 
 
 def format_table1() -> str:

@@ -76,6 +76,7 @@ class MetricsCollector:
         streaming_percentiles: bool = False,
         store_requests: bool = True,
     ) -> None:
+        """Choose the storage mode: full request objects, constant-memory streaming summaries (see :mod:`repro.metrics.streaming` for the P² zero-wait caveat), or both."""
         if not store_requests and not streaming_percentiles:
             raise ValueError(
                 "store_requests=False requires streaming_percentiles=True, "

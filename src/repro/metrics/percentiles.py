@@ -68,6 +68,7 @@ class WaitingTimeSummary:
 
 
 def _empty_summary() -> WaitingTimeSummary:
+    """An all-zero summary for functions with no completed requests."""
     return WaitingTimeSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
 

@@ -48,6 +48,7 @@ class P2Quantile:
     __slots__ = ("p", "_heights", "_positions", "_desired", "_increments", "_count")
 
     def __init__(self, p: float) -> None:
+        """Initialise the five P² markers for quantile ``p``."""
         if not 0.0 < p < 1.0:
             raise ValueError("p must be in (0, 1)")
         self.p = float(p)
@@ -144,6 +145,7 @@ class ReservoirQuantiles:
     __slots__ = ("max_samples", "_sorted", "_count", "_rng")
 
     def __init__(self, max_samples: int = 4096, seed: int = 2029) -> None:
+        """Configure the reservoir size and its deterministic RNG seed."""
         if max_samples < 10:
             raise ValueError("max_samples must be at least 10")
         self.max_samples = int(max_samples)
@@ -192,6 +194,7 @@ class StreamingSummary:
     DEFAULT_MAX_SAMPLES = 16384
 
     def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        """Start an empty summary."""
         self._count = 0
         self._mean = 0.0
         self._min = 0.0

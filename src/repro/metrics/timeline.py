@@ -29,6 +29,7 @@ class AllocationTimeline:
     """A collection of :class:`TimelinePoint` keyed by function."""
 
     def __init__(self) -> None:
+        """Start with no recorded points."""
         self._points: Dict[str, List[TimelinePoint]] = {}
 
     def record(self, point: TimelinePoint) -> None:

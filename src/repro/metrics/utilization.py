@@ -57,6 +57,7 @@ class UtilizationTracker:
     """Samples and aggregates cluster CPU utilisation over time."""
 
     def __init__(self) -> None:
+        """Start with no samples."""
         self._samples: List[UtilizationSample] = []
 
     def record(self, time: float, allocated_cpu: float, total_cpu: float) -> None:

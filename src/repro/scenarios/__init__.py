@@ -1,0 +1,81 @@
+"""Declarative scenarios: specs, a registry, an executor, and a sweep runner.
+
+This package turns experiment scripts into data.  A
+:class:`~repro.scenarios.spec.ScenarioSpec` describes one run (workloads,
+cluster, controller, metrics, seed) and round-trips through JSON; the
+:mod:`~repro.scenarios.registry` re-expresses every paper experiment and
+example workload as such specs; :func:`~repro.scenarios.runner.run_scenario`
+executes any spec into a unified results schema; and
+:class:`~repro.scenarios.sweep.SweepRunner` expands parameter grids and
+runs the shards across a process pool with results byte-identical to a
+serial run.
+
+Typical use::
+
+    from repro.scenarios import build, run_scenario, SweepRunner, SweepSpec
+
+    outcome = run_scenario(build("quickstart"))     # a registered scenario
+    print(outcome.data["metrics"]["functions"]["squeezenet"]["waiting"]["p95"])
+
+    results = SweepRunner(build("fig3"), workers=4).run()   # a registered sweep
+"""
+
+from repro.scenarios.registry import (
+    build,
+    describe,
+    example_names,
+    experiment_names,
+    get_entry,
+    names,
+    register,
+)
+from repro.scenarios.runner import RESULT_SCHEMA, ScenarioOutcome, run_scenario
+from repro.scenarios.spec import (
+    SCENARIO_SCHEMA,
+    AllocationSpec,
+    ClusterSpec,
+    ControllerSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    WorkloadSpec,
+    canonical_json,
+)
+from repro.scenarios.sweep import (
+    SWEEP_RESULT_SCHEMA,
+    SWEEP_SCHEMA,
+    SweepAxis,
+    SweepRunner,
+    SweepSpec,
+    apply_overrides,
+    derive_shard_seed,
+    run_sweep,
+)
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "SWEEP_RESULT_SCHEMA",
+    "SWEEP_SCHEMA",
+    "RESULT_SCHEMA",
+    "AllocationSpec",
+    "ClusterSpec",
+    "ControllerSpec",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "ScheduleSpec",
+    "SweepAxis",
+    "SweepRunner",
+    "SweepSpec",
+    "WorkloadSpec",
+    "apply_overrides",
+    "build",
+    "canonical_json",
+    "derive_shard_seed",
+    "describe",
+    "example_names",
+    "experiment_names",
+    "get_entry",
+    "names",
+    "register",
+    "run_scenario",
+    "run_sweep",
+]

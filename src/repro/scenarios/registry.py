@@ -1,0 +1,610 @@
+"""The scenario registry: every paper experiment and example as data.
+
+Each entry is a builder that returns a fully-validated
+:class:`~repro.scenarios.spec.ScenarioSpec` or
+:class:`~repro.scenarios.sweep.SweepSpec`.  The nine paper experiments
+(``table1``, ``fig3`` … ``fig9``) are registered here — the modules
+under :mod:`repro.experiments` are thin renderers over these specs —
+alongside the ``examples/`` workloads, so ``python -m repro scenario
+fig3`` and a user-supplied ``spec.json`` go through exactly the same
+machinery.
+
+Builders accept keyword overrides for their experiment's traditional
+knobs (durations, seeds, grids), defaulting to the paper configuration.
+The CLI's ``experiment`` verb enumerates its valid names from
+:func:`experiment_names`, so the list can never drift from what is
+actually registered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.scenarios.spec import (
+    AllocationSpec,
+    ClusterSpec,
+    ControllerSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    WorkloadSpec,
+)
+from repro.scenarios.sweep import SweepSpec
+
+#: What a registry builder returns.
+SpecOrSweep = Union[ScenarioSpec, SweepSpec]
+
+#: user → functions split used in the Figure 9 experiment (user-2 has 2× weight).
+FIG9_USER_ASSIGNMENT: Dict[str, str] = {
+    "shufflenet": "user-1",
+    "geofence": "user-1",
+    "image-resizer": "user-1",
+    "mobilenet": "user-2",
+    "squeezenet": "user-2",
+    "binaryalert": "user-2",
+}
+
+#: Figure 9 user weights (under contention: user-1 ≈ 1/3, user-2 ≈ 2/3).
+FIG9_USER_WEIGHTS: Dict[str, float] = {"user-1": 1.0, "user-2": 2.0}
+
+#: Figure 9 per-function SLO deadlines (seconds); DNNs get looser deadlines.
+FIG9_SLO_DEADLINES: Dict[str, float] = {
+    "mobilenet": 0.5,
+    "shufflenet": 0.3,
+    "squeezenet": 0.2,
+    "binaryalert": 0.1,
+    "geofence": 0.1,
+    "image-resizer": 0.15,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One registry entry: a named, tagged scenario/sweep builder."""
+
+    name: str
+    summary: str
+    build: Callable[..., SpecOrSweep]
+    tags: Tuple[str, ...] = ()
+
+
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register(name: str, summary: str, tags: Sequence[str] = ()) -> Callable:
+    """Decorator: register a builder function under ``name``."""
+
+    def wrap(builder: Callable[..., SpecOrSweep]) -> Callable[..., SpecOrSweep]:
+        """Store the builder in the registry and return it unchanged."""
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} registered twice")
+        _REGISTRY[name] = ScenarioEntry(name=name, summary=summary,
+                                        build=builder, tags=tuple(tags))
+        return builder
+
+    return wrap
+
+
+def get_entry(name: str) -> ScenarioEntry:
+    """Look up a registry entry by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def build(name: str, **params: Any) -> SpecOrSweep:
+    """Build the named scenario/sweep, passing ``params`` to its builder."""
+    return get_entry(name).build(**params)
+
+
+def names(tag: Optional[str] = None) -> List[str]:
+    """Registered names, optionally filtered by tag, in sorted order."""
+    if tag is None:
+        return sorted(_REGISTRY)
+    return sorted(e.name for e in _REGISTRY.values() if tag in e.tags)
+
+
+def experiment_names() -> List[str]:
+    """The paper experiments (``table1``, ``fig3`` … ``fig9``), sorted."""
+    return names(tag="paper")
+
+
+def example_names() -> List[str]:
+    """The registered example workloads, sorted."""
+    return names(tag="example")
+
+
+def describe() -> List[Tuple[str, str, str]]:
+    """``(name, tags, summary)`` rows for every entry, sorted by name."""
+    return [
+        (e.name, ",".join(e.tags), e.summary)
+        for e in sorted(_REGISTRY.values(), key=lambda e: e.name)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+@register("table1", "Table 1: the function catalogue used in the evaluation",
+          tags=("paper",))
+def _table1() -> ScenarioSpec:
+    """The catalogue dump (no simulation)."""
+    return ScenarioSpec(
+        name="table1",
+        kind="catalogue",
+        description="Table 1 function catalogue",
+        metrics=(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3: model validation, homogeneous containers
+# ----------------------------------------------------------------------
+@register("fig3", "Figure 3: M/M/c model validation with homogeneous containers",
+          tags=("paper",))
+def _fig3(
+    mus: Sequence[float] = (5.0, 10.0),
+    slo_deadlines: Sequence[float] = (0.1, 0.2),
+    arrival_rates: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0),
+    duration: float = 300.0,
+    percentile: float = 0.95,
+    warmup: float = 20.0,
+    seed: int = 3,
+) -> SweepSpec:
+    """The (μ, SLO, λ) grid of Figure 3 as a sweep of fixed-allocation runs.
+
+    Shard seeds reproduce the historical harness exactly
+    (``seed + λ + 7μ + 1000·SLO``), so the sweep's measurements are
+    byte-identical to the pre-scenario experiment code.
+    """
+    base = ScenarioSpec(
+        name="fig3",
+        kind="fixed",
+        description="M/M/c sizing validated against measured P95 waiting time",
+        workloads=(
+            WorkloadSpec(
+                function="microbenchmark",
+                schedule=ScheduleSpec.static(rate=10.0, duration=duration),
+                slo_deadline=0.1,
+                service_time=0.1,
+            ),
+        ),
+        allocation=AllocationSpec(sizing={"model": "mmc", "percentile": percentile}),
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        metrics=("waiting",),
+    )
+    points = []
+    for mu in mus:
+        for slo in slo_deadlines:
+            for lam in arrival_rates:
+                points.append({
+                    "workloads.0.service_time": 1.0 / mu,
+                    "workloads.0.slo_deadline": slo,
+                    "workloads.0.schedule.params.rate": lam,
+                    "seed": seed + int(lam) + int(mu * 7) + int(slo * 1000),
+                })
+    return SweepSpec(name="fig3", base=base, points=tuple(points),
+                     description="Figure 3 (μ × SLO × λ) model-validation grid")
+
+
+# ----------------------------------------------------------------------
+# Figure 4: model validation, heterogeneous (deflated) containers
+# ----------------------------------------------------------------------
+@register("fig4", "Figure 4: heterogeneous-container model validation under deflation",
+          tags=("paper",))
+def _fig4(
+    proportions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    arrival_rates: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0,
+                                      60.0, 70.0, 80.0, 90.0, 100.0),
+    slo_deadline: float = 0.1,
+    deflation_fraction: float = 0.3,
+    duration: float = 240.0,
+    percentile: float = 0.95,
+    warmup: float = 20.0,
+    seed: int = 4,
+) -> SweepSpec:
+    """The (deflated proportion, λ) grid of Figure 4 with legacy shard seeds."""
+    base = ScenarioSpec(
+        name="fig4",
+        kind="fixed",
+        description="Heterogeneous sizing (Alves et al.) after deflating a proportion "
+                    "of SqueezeNet's containers",
+        workloads=(
+            WorkloadSpec(
+                function="squeezenet",
+                schedule=ScheduleSpec.static(rate=10.0, duration=duration),
+                slo_deadline=slo_deadline,
+            ),
+        ),
+        allocation=AllocationSpec(sizing={
+            "model": "heterogeneous",
+            "percentile": percentile,
+            "deflated_proportion": 0.25,
+            "deflation_fraction": deflation_fraction,
+        }),
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        metrics=("waiting",),
+    )
+    points = []
+    for proportion in proportions:
+        for lam in arrival_rates:
+            points.append({
+                "allocation.sizing.deflated_proportion": proportion,
+                "workloads.0.schedule.params.rate": lam,
+                "seed": seed + int(lam) + int(proportion * 100),
+            })
+    return SweepSpec(name="fig4", base=base, points=tuple(points),
+                     description="Figure 4 (deflated proportion × λ) grid")
+
+
+# ----------------------------------------------------------------------
+# Figure 5: allocation-algorithm scalability
+# ----------------------------------------------------------------------
+@register("fig5", "Figure 5: allocation-algorithm compute time vs. container count",
+          tags=("paper",))
+def _fig5(
+    container_counts: Sequence[int] = (10, 50, 100, 250, 500, 750, 1000),
+    mu: float = 10.0,
+    slo_deadline: float = 0.1,
+    percentile: float = 0.99,
+    spikes: Sequence[str] = ("10%", "2x"),
+    implementations: Sequence[str] = ("naive", "fast"),
+    repeats: int = 3,
+) -> ScenarioSpec:
+    """The sizing-implementation timing benchmark (wall-clock; host-dependent)."""
+    return ScenarioSpec(
+        name="fig5",
+        kind="sizing_benchmark",
+        description="Reaction-time scaling of the naive vs. vectorised sizing paths",
+        params={
+            "container_counts": tuple(int(c) for c in container_counts),
+            "mu": mu,
+            "slo_deadline": slo_deadline,
+            "percentile": percentile,
+            "spikes": tuple(spikes),
+            "implementations": tuple(implementations),
+            "repeats": repeats,
+        },
+        metrics=(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: model-driven autoscaling under time-varying workloads
+# ----------------------------------------------------------------------
+def fig6_rate_profiles() -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """The paper's rate staircases for the two Figure 6 functions.
+
+    First half: micro-benchmark 5→30→5 in steps of 5, MobileNet constant 3.
+    Second half: micro-benchmark constant 5, MobileNet 3→8→3 in steps of 1.
+    """
+    micro_up = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+    micro_down = (25.0, 20.0, 15.0, 10.0, 5.0)
+    mobile_up = (3.0, 4.0, 5.0, 6.0, 7.0, 8.0)
+    mobile_down = (7.0, 6.0, 5.0, 4.0, 3.0)
+    first_half_len = len(micro_up) + len(micro_down)
+    second_half_len = len(mobile_up) + len(mobile_down)
+    micro = micro_up + micro_down + (5.0,) * second_half_len
+    mobile = (3.0,) * first_half_len + mobile_up + mobile_down
+    return micro, mobile
+
+
+@register("fig6", "Figure 6: model-driven autoscaling tracks two time-varying workloads",
+          tags=("paper",))
+def _fig6(step_duration: float = 60.0, seed: int = 6) -> ScenarioSpec:
+    """The two-function staircase scenario on a roomy (pressure-free) cluster."""
+    micro_rates, mobile_rates = fig6_rate_profiles()
+    return ScenarioSpec(
+        name="fig6",
+        kind="simulate",
+        description="Micro-benchmark and MobileNet staircases with no resource pressure",
+        workloads=(
+            WorkloadSpec(
+                function="microbenchmark",
+                schedule=ScheduleSpec.staircase(micro_rates, step_duration),
+                slo_deadline=0.1,
+                service_time=0.1,
+            ),
+            WorkloadSpec(
+                function="mobilenet",
+                schedule=ScheduleSpec.staircase(mobile_rates, step_duration),
+                slo_deadline=0.5,
+            ),
+        ),
+        cluster=ClusterSpec(node_count=6, cpu_per_node=8.0,
+                            memory_per_node_mb=32 * 1024.0),
+        controller=ControllerSpec(epoch_length=10.0),
+        duration=step_duration * len(micro_rates),
+        seed=seed,
+        warm_start={"microbenchmark": 1, "mobilenet": 1},
+        metrics=("waiting", "slo", "utilization", "counters", "timeline", "generated"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7: deflation response curves
+# ----------------------------------------------------------------------
+#: The six realistic functions shown in Figure 7 (micro-benchmark excluded).
+FIG7_FUNCTIONS: Tuple[str, ...] = (
+    "geofence",
+    "binaryalert",
+    "image-resizer",
+    "squeezenet",
+    "shufflenet",
+    "mobilenet",
+)
+
+
+@register("fig7", "Figure 7: service time vs. CPU deflation for the six functions",
+          tags=("paper",))
+def _fig7(
+    functions: Sequence[str] = FIG7_FUNCTIONS,
+    deflation_ratios: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7),
+    measured: bool = False,
+    duration: float = 60.0,
+    seed: int = 7,
+) -> ScenarioSpec:
+    """The deflation-response scenario (analytic by default, measured on request)."""
+    return ScenarioSpec(
+        name="fig7",
+        kind="deflation_curve",
+        description="Deflation slack: ≤30% deflation costs little except for MobileNet",
+        params={
+            "functions": tuple(functions),
+            "deflation_ratios": tuple(float(r) for r in deflation_ratios),
+            "measured": measured,
+        },
+        duration=duration,
+        seed=seed,
+        metrics=(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8: fair share and reclamation under staged overload
+# ----------------------------------------------------------------------
+def _fig8_base(phase_duration: float, seed: int,
+               reclamation: str = "termination") -> ScenarioSpec:
+    """The five-phase BinaryAlert + MobileNet overload scenario of §6.6."""
+    duration = 5 * phase_duration
+    return ScenarioSpec(
+        name="fig8",
+        kind="simulate",
+        description="Staged overload: BinaryAlert ramps while MobileNet bursts past "
+                    "its fair share",
+        workloads=(
+            WorkloadSpec(
+                function="binaryalert",
+                schedule=ScheduleSpec.steps(
+                    [
+                        (0.0, 50.0),
+                        (2 * phase_duration, 70.0),
+                        (3 * phase_duration, 240.0),
+                        (4 * phase_duration, 240.0),
+                    ],
+                    duration=duration,
+                ),
+                slo_deadline=0.1,
+                weight=1.0,
+                user="user-1",
+            ),
+            WorkloadSpec(
+                function="mobilenet",
+                schedule=ScheduleSpec.steps(
+                    [
+                        (0.0, 0.0),
+                        (phase_duration, 11.0),
+                        (4 * phase_duration, 0.0),
+                    ],
+                    duration=duration,
+                ),
+                slo_deadline=0.5,
+                weight=1.0,
+                user="user-2",
+            ),
+        ),
+        controller=ControllerSpec(epoch_length=10.0, reclamation=reclamation),
+        duration=duration,
+        seed=seed,
+        warm_start={"binaryalert": 1},
+        params={"phase_duration": phase_duration},
+        metrics=("waiting", "slo", "utilization", "counters", "timeline",
+                 "guaranteed_cpu", "generated"),
+    )
+
+
+@register("fig8", "Figure 8: fair share + reclamation under overload "
+                  "(termination vs. deflation vs. OpenWhisk)",
+          tags=("paper",))
+def _fig8(phase_duration: float = 180.0, seed: int = 8,
+          include_openwhisk: bool = True) -> SweepSpec:
+    """Three arms over the same workload: both LaSS policies plus the baseline."""
+    points: List[Dict[str, Any]] = [
+        {"controller.reclamation": "termination", "name": "fig8-termination"},
+        {"controller.reclamation": "deflation", "name": "fig8-deflation"},
+    ]
+    if include_openwhisk:
+        points.append({"kind": "openwhisk", "name": "fig8-openwhisk",
+                       "warm_start": {}, "metrics": ["counters"]})
+    return SweepSpec(
+        name="fig8",
+        base=_fig8_base(phase_duration, seed),
+        points=tuple(points),
+        seed_mode="base",  # arms must replay identical workload randomness
+        description="Figure 8 policy comparison on the staged-overload workload",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: Azure-trace replay
+# ----------------------------------------------------------------------
+def _fig9_workloads(duration_minutes: int, trace_seed: int) -> Tuple[WorkloadSpec, ...]:
+    """One Azure-trace workload spec per catalogue function, in sorted order.
+
+    The per-function ``index`` into the trace RNG matches
+    :func:`~repro.workloads.azure.synthesize_azure_traces`, which seeds
+    functions by their sorted position — so these specs replay the very
+    same synthetic traces.
+    """
+    from repro.workloads.azure import DEFAULT_AZURE_CONFIGS
+
+    workloads = []
+    for index, (name, config) in enumerate(sorted(DEFAULT_AZURE_CONFIGS.items())):
+        workloads.append(
+            WorkloadSpec(
+                function=name,
+                schedule=ScheduleSpec.azure(
+                    config=dataclasses.asdict(config),
+                    duration_minutes=duration_minutes,
+                    seed=trace_seed,
+                    index=index,
+                ),
+                slo_deadline=FIG9_SLO_DEADLINES.get(name, 0.2),
+                user=FIG9_USER_ASSIGNMENT.get(name, "user-1"),
+            )
+        )
+    return tuple(workloads)
+
+
+@register("fig9", "Figure 9: Azure-like trace replay with six functions and "
+                  "two weighted users",
+          tags=("paper",))
+def _fig9(duration_minutes: int = 60, seed: int = 9,
+          trace_seed: int = 2019) -> SweepSpec:
+    """Both reclamation policies over the same synthetic Azure traces."""
+    workloads = _fig9_workloads(duration_minutes, trace_seed)
+    base = ScenarioSpec(
+        name="fig9",
+        kind="simulate",
+        description="Two-user Azure replay comparing termination vs. deflation",
+        workloads=workloads,
+        controller=ControllerSpec(epoch_length=10.0, reclamation="termination"),
+        duration=duration_minutes * 60.0,
+        seed=seed,
+        user_weights=FIG9_USER_WEIGHTS,
+        warm_start={w.function: 1 for w in workloads},
+        params={"duration_minutes": duration_minutes, "trace_seed": trace_seed},
+        metrics=("waiting", "slo", "utilization", "counters", "timeline",
+                 "guaranteed_cpu", "generated"),
+    )
+    return SweepSpec(
+        name="fig9",
+        base=base,
+        points=(
+            {"controller.reclamation": "termination", "name": "fig9-termination"},
+            {"controller.reclamation": "deflation", "name": "fig9-deflation"},
+        ),
+        seed_mode="base",  # both policies replay identical traces and arrivals
+        description="Figure 9 reclamation-policy comparison on Azure-like traces",
+    )
+
+
+# ----------------------------------------------------------------------
+# Example workloads (examples/*.py expressed as scenarios)
+# ----------------------------------------------------------------------
+@register("quickstart", "One SqueezeNet function under LaSS at a constant 20 req/s",
+          tags=("example",))
+def _quickstart(rate: float = 20.0, duration: float = 300.0,
+                seed: int = 7) -> ScenarioSpec:
+    """The examples/quickstart.py scenario."""
+    return ScenarioSpec(
+        name="quickstart",
+        kind="simulate",
+        description="SqueezeNet on the paper's 3-node cluster, model-driven scaling",
+        workloads=(
+            WorkloadSpec(
+                function="squeezenet",
+                schedule=ScheduleSpec.static(rate=rate, duration=duration),
+                slo_deadline=0.1,
+            ),
+        ),
+        duration=duration,
+        warmup=30.0,
+        seed=seed,
+        metrics=("waiting", "slo", "utilization", "counters", "timeline", "generated"),
+    )
+
+
+@register("video-analytics-burst",
+          "Motion-activated camera: bursty MobileNet inference (paper Example 1)",
+          tags=("example",))
+def _video_analytics(burst_rate: float = 10.0, idle_rate: float = 2.0,
+                     burst_length: float = 60.0, idle_length: float = 120.0,
+                     bursts: int = 3, seed: int = 11) -> ScenarioSpec:
+    """The examples/video_analytics_burst.py on/off scenario."""
+    steps = []
+    t = 0.0
+    for _ in range(bursts):
+        steps.append((t, idle_rate))
+        t += idle_length
+        steps.append((t, burst_rate))
+        t += burst_length
+    steps.append((t, idle_rate))
+    duration = t + idle_length
+    return ScenarioSpec(
+        name="video-analytics-burst",
+        kind="simulate",
+        description="On/off motion bursts against MobileNet with fast rate sampling",
+        workloads=(
+            WorkloadSpec(
+                function="mobilenet",
+                schedule=ScheduleSpec.steps(steps, duration=duration),
+                slo_deadline=0.5,
+            ),
+        ),
+        cluster=ClusterSpec(node_count=4, cpu_per_node=8.0),
+        controller=ControllerSpec(epoch_length=10.0, rate_sample_interval=2.0),
+        duration=duration,
+        warmup=30.0,
+        seed=seed,
+        warm_start={"mobilenet": 2},
+        metrics=("waiting", "slo", "utilization", "counters", "timeline", "generated"),
+    )
+
+
+@register("overload-fair-share",
+          "The Figure 8 staged overload under the deflation policy",
+          tags=("example",))
+def _overload_fair_share(phase_duration: float = 180.0, seed: int = 8) -> ScenarioSpec:
+    """The examples/overload_fair_share.py scenario (deflation arm)."""
+    spec = _fig8_base(phase_duration, seed, reclamation="deflation")
+    return dataclasses.replace(spec, name="overload-fair-share")
+
+
+@register("azure-replay",
+          "The Figure 9 Azure-like replay under the deflation policy",
+          tags=("example",))
+def _azure_replay(duration_minutes: int = 15, seed: int = 9,
+                  trace_seed: int = 2019) -> ScenarioSpec:
+    """The examples/azure_trace_replay.py scenario (deflation arm)."""
+    sweep = _fig9(duration_minutes=duration_minutes, seed=seed, trace_seed=trace_seed)
+    spec = dataclasses.replace(
+        sweep.base, controller=dataclasses.replace(sweep.base.controller,
+                                                   reclamation="deflation"))
+    return dataclasses.replace(spec, name="azure-replay")
+
+
+__all__ = [
+    "FIG7_FUNCTIONS",
+    "FIG9_SLO_DEADLINES",
+    "FIG9_USER_ASSIGNMENT",
+    "FIG9_USER_WEIGHTS",
+    "ScenarioEntry",
+    "SpecOrSweep",
+    "build",
+    "describe",
+    "example_names",
+    "experiment_names",
+    "fig6_rate_profiles",
+    "get_entry",
+    "names",
+    "register",
+]

@@ -1,0 +1,591 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a complete, JSON-serialisable description of
+one run of the reproduction: which functions receive traffic, how their
+arrival rates evolve, how the cluster and controller are configured,
+which metrics to collect, and the master seed.  Specs are plain frozen
+dataclasses — building one performs full validation, and
+``from_dict(spec.to_dict())`` round-trips exactly — so scenarios can be
+stored as data (in the registry, in ``.json`` files, in sweep grids)
+instead of as bespoke experiment scripts.
+
+Scenario kinds
+--------------
+``simulate``
+    A full controller-driven run (:class:`~repro.simulation.SimulationRunner`):
+    workloads → dispatch → containers with the LaSS epoch loop scaling
+    the allocation.  This is the kind user-defined scenarios normally use.
+``fixed``
+    A single function against a *fixed* container allocation
+    (:func:`~repro.simulation.run_fixed_allocation`), with the container
+    count either given explicitly or derived from a queueing model at
+    run time.  The model-validation experiments (Figures 3 and 4) are
+    sweeps of this kind.
+``openwhisk``
+    The same data path driven by the vanilla-OpenWhisk baseline
+    controller instead of LaSS (the third arm of Figure 8).
+``sizing_benchmark``
+    No simulation: time the container-sizing implementations against
+    each other (Figure 5).
+``deflation_curve``
+    Evaluate (or measure) the service-time-vs-deflation response of a
+    set of functions (Figure 7).
+``catalogue``
+    No simulation: dump the Table 1 function catalogue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import ClusterConfig
+from repro.core.controller import ControllerConfig, ReclamationPolicy
+from repro.workloads.functions import FunctionProfile, get_function, microbenchmark
+from repro.workloads.generator import WorkloadBinding
+from repro.workloads.schedules import (
+    RampSchedule,
+    RateSchedule,
+    StaticRate,
+    StepSchedule,
+    TraceSchedule,
+)
+
+#: Schema identifier embedded in serialised specs (bump on breaking change).
+SCENARIO_SCHEMA = "repro/scenario@1"
+
+#: The scenario kinds the runner knows how to execute.
+SCENARIO_KINDS = (
+    "simulate",
+    "fixed",
+    "openwhisk",
+    "sizing_benchmark",
+    "deflation_curve",
+    "catalogue",
+)
+
+#: Kinds that drive the discrete-event simulator (and therefore need workloads).
+SIMULATION_KINDS = ("simulate", "fixed", "openwhisk")
+
+#: Metric groups a scenario may request in its results.
+KNOWN_METRICS = (
+    "waiting",
+    "slo",
+    "utilization",
+    "counters",
+    "timeline",
+    "guaranteed_cpu",
+    "generated",
+)
+
+#: Valid ``kind`` values for :class:`ScheduleSpec` and their required params.
+_SCHEDULE_KINDS: Dict[str, Tuple[str, ...]] = {
+    "static": ("rate",),
+    "steps": ("steps",),
+    "staircase": ("rates", "step_duration"),
+    "ramp": ("points",),
+    "trace": ("counts",),
+    "azure": ("config", "duration_minutes", "seed", "index"),
+}
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialise ``obj`` to the canonical JSON used for byte-comparisons.
+
+    Keys are sorted and separators fixed, so two runs that produce equal
+    data structures produce equal bytes — this is the representation the
+    parallel-equals-serial sweep guarantee is stated over.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert lists to tuples so frozen specs hash/compare stably."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _freeze(v) for k, v in value.items()}
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Recursively convert tuples back to lists for JSON serialisation."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _thaw(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """Serializable description of a :class:`~repro.workloads.schedules.RateSchedule`.
+
+    ``kind`` selects the schedule family; ``params`` carries its
+    arguments (see ``_SCHEDULE_KINDS`` for the required keys per kind).
+    The ``azure`` kind synthesises a per-minute trace at build time with
+    the same deterministic seeding as
+    :func:`repro.workloads.azure.synthesize_azure_traces`.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        """Validate the kind and its required params; freeze the params mapping."""
+        if self.kind not in _SCHEDULE_KINDS:
+            raise ValueError(
+                f"unknown schedule kind {self.kind!r}; valid: {sorted(_SCHEDULE_KINDS)}"
+            )
+        missing = [key for key in _SCHEDULE_KINDS[self.kind] if key not in self.params]
+        if missing:
+            raise ValueError(f"schedule kind {self.kind!r} missing params: {missing}")
+        object.__setattr__(self, "params", _freeze(dict(self.params)))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def static(cls, rate: float, duration: Optional[float] = None) -> "ScheduleSpec":
+        """A constant-rate schedule."""
+        return cls("static", {"rate": rate, "duration": duration})
+
+    @classmethod
+    def staircase(cls, rates: Sequence[float], step_duration: float,
+                  start: float = 0.0) -> "ScheduleSpec":
+        """Equal-duration steps through ``rates`` (Figure 6 style)."""
+        return cls("staircase", {"rates": tuple(rates), "step_duration": step_duration,
+                                 "start": start})
+
+    @classmethod
+    def steps(cls, steps: Sequence[Tuple[float, float]],
+              duration: Optional[float] = None) -> "ScheduleSpec":
+        """Piecewise-constant ``(time, rate)`` steps (Figure 8 style)."""
+        return cls("steps", {"steps": tuple(tuple(s) for s in steps), "duration": duration})
+
+    @classmethod
+    def azure(cls, config: Mapping[str, Any], duration_minutes: int, seed: int,
+              index: int) -> "ScheduleSpec":
+        """A synthetic Azure-like per-minute trace (Figure 9 style).
+
+        ``index`` is the function's position in the sorted trace set; it
+        selects the spawn key of the trace RNG so a set of specs
+        reproduces :func:`~repro.workloads.azure.synthesize_azure_traces`
+        exactly.
+        """
+        return cls("azure", {"config": dict(config), "duration_minutes": duration_minutes,
+                             "seed": seed, "index": index})
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) view of this schedule spec."""
+        return {"kind": self.kind, "params": _thaw(dict(self.params))}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScheduleSpec":
+        """Rebuild a schedule spec from :meth:`to_dict` output."""
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> RateSchedule:
+        """Instantiate the live :class:`RateSchedule` this spec describes."""
+        p = dict(self.params)
+        if self.kind == "static":
+            return StaticRate(float(p["rate"]), duration=p.get("duration"))
+        if self.kind == "steps":
+            return StepSchedule([tuple(s) for s in p["steps"]], duration=p.get("duration"))
+        if self.kind == "staircase":
+            return StepSchedule.staircase(list(p["rates"]), float(p["step_duration"]),
+                                          start=float(p.get("start", 0.0)))
+        if self.kind == "ramp":
+            return RampSchedule([tuple(pt) for pt in p["points"]], duration=p.get("duration"))
+        if self.kind == "trace":
+            return TraceSchedule(list(p["counts"]), interval=float(p.get("interval", 60.0)),
+                                 start=float(p.get("start", 0.0)))
+        if self.kind == "azure":
+            import numpy as np
+
+            from repro.workloads.azure import AzureTraceConfig, synthesize_azure_trace
+
+            config = AzureTraceConfig(**dict(p["config"]))
+            rng = np.random.default_rng(
+                np.random.SeedSequence(int(p["seed"]), spawn_key=(int(p["index"]),))
+            )
+            counts = synthesize_azure_trace(config, int(p["duration_minutes"]), rng)
+            return TraceSchedule(counts, interval=60.0)
+        raise AssertionError(f"unreachable schedule kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One function's workload: a catalogue function plus an arrival schedule.
+
+    ``service_time`` optionally overrides the catalogue's mean service
+    time (the micro-benchmark is configured this way per experiment).
+    """
+
+    function: str
+    schedule: ScheduleSpec
+    slo_deadline: Optional[float] = 0.1
+    weight: float = 1.0
+    user: str = "default"
+    service_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        """Validate the workload's numeric fields."""
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.slo_deadline is not None and self.slo_deadline <= 0:
+            raise ValueError("slo_deadline must be positive (or None)")
+        if self.service_time is not None and self.service_time <= 0:
+            raise ValueError("service_time must be positive (or None)")
+
+    def build_profile(self) -> FunctionProfile:
+        """Resolve the catalogue profile, applying the service-time override."""
+        if self.service_time is None:
+            return get_function(self.function)
+        if self.function == "microbenchmark":
+            return microbenchmark(self.service_time)
+        return get_function(self.function).with_service_time(self.service_time)
+
+    def build(self) -> WorkloadBinding:
+        """Instantiate the live :class:`WorkloadBinding` this spec describes."""
+        return WorkloadBinding(
+            profile=self.build_profile(),
+            schedule=self.schedule.build(),
+            slo_deadline=self.slo_deadline,
+            weight=self.weight,
+            user=self.user,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) view of this workload spec."""
+        return {
+            "function": self.function,
+            "schedule": self.schedule.to_dict(),
+            "slo_deadline": self.slo_deadline,
+            "weight": self.weight,
+            "user": self.user,
+            "service_time": self.service_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        """Rebuild a workload spec from :meth:`to_dict` output."""
+        return cls(
+            function=data["function"],
+            schedule=ScheduleSpec.from_dict(data["schedule"]),
+            slo_deadline=data.get("slo_deadline"),
+            weight=float(data.get("weight", 1.0)),
+            user=data.get("user", "default"),
+            service_time=data.get("service_time"),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Serializable view of :class:`~repro.cluster.cluster.ClusterConfig`.
+
+    Defaults reproduce the paper's 3-node × (4 vCPU, 16 GB) testbed.
+    """
+
+    node_count: int = 3
+    cpu_per_node: float = 4.0
+    memory_per_node_mb: float = 16 * 1024.0
+    cold_start_latency: float = 0.5
+    resize_latency: float = 0.0
+
+    def build(self) -> ClusterConfig:
+        """Instantiate the live :class:`ClusterConfig`."""
+        return ClusterConfig(**dataclasses.asdict(self))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) view."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
+        """Rebuild from :meth:`to_dict` output (missing keys take defaults)."""
+        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls) if f.name in data})
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """Serializable view of :class:`~repro.core.controller.ControllerConfig`.
+
+    ``reclamation`` is stored as the policy's string value
+    (``"termination"`` / ``"deflation"``) so specs stay plain JSON.
+    """
+
+    epoch_length: float = 10.0
+    rate_sample_interval: float = 5.0
+    long_window: float = 120.0
+    short_window: float = 10.0
+    burst_factor: float = 2.0
+    ewma_alpha: float = 0.7
+    percentile: float = 0.95
+    reclamation: str = "deflation"
+    deflation_threshold: float = 0.3
+    deflation_increment: float = 0.05
+    lazy_termination: bool = True
+    placement_strategy: str = "best_fit"
+    use_fast_sizing: bool = True
+    subtract_service_percentile: bool = False
+    online_learning: bool = True
+
+    def __post_init__(self) -> None:
+        """Validate the reclamation policy name."""
+        ReclamationPolicy(self.reclamation)  # validates the policy name
+
+    def build(self) -> ControllerConfig:
+        """Instantiate the live :class:`ControllerConfig`."""
+        kwargs = dataclasses.asdict(self)
+        kwargs["reclamation"] = ReclamationPolicy(kwargs["reclamation"])
+        return ControllerConfig(**kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) view."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ControllerSpec":
+        """Rebuild from :meth:`to_dict` output (missing keys take defaults)."""
+        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls) if f.name in data})
+
+
+@dataclass(frozen=True)
+class AllocationSpec:
+    """Fixed-allocation policy for ``kind="fixed"`` scenarios.
+
+    Exactly one of ``containers`` (explicit count) or ``sizing``
+    (model-derived count) must be given.  ``sizing`` maps are either::
+
+        {"model": "mmc", "percentile": 0.95}
+
+    — size with the M/M/c model from the workload's static rate, service
+    rate, and SLO deadline (the Figure 3 atom) — or::
+
+        {"model": "heterogeneous", "percentile": 0.95,
+         "deflated_proportion": 0.5, "deflation_fraction": 0.3}
+
+    — first size homogeneously, deflate that proportion of the
+    containers by ``deflation_fraction``, then add standard containers
+    per the heterogeneous model (the Figure 4 atom).
+
+    ``deflation_plan`` optionally gives explicit per-container CPU
+    fractions applied after warm-up (mutually exclusive with the
+    ``heterogeneous`` model, which derives its own plan).
+    """
+
+    containers: Optional[int] = None
+    sizing: Optional[Mapping[str, Any]] = None
+    deflation_plan: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        """Validate the containers/sizing choice and freeze the plan."""
+        if (self.containers is None) == (self.sizing is None):
+            raise ValueError("exactly one of containers / sizing must be set")
+        if self.containers is not None and self.containers < 1:
+            raise ValueError("containers must be >= 1")
+        if self.sizing is not None:
+            sizing = dict(self.sizing)
+            model = sizing.get("model")
+            if model not in ("mmc", "heterogeneous"):
+                raise ValueError(f"unknown sizing model {model!r}")
+            if model == "heterogeneous" and self.deflation_plan is not None:
+                raise ValueError("heterogeneous sizing derives its own deflation plan")
+            object.__setattr__(self, "sizing", _freeze(sizing))
+        if self.deflation_plan is not None:
+            object.__setattr__(self, "deflation_plan",
+                               tuple(float(f) for f in self.deflation_plan))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) view."""
+        return {
+            "containers": self.containers,
+            "sizing": _thaw(dict(self.sizing)) if self.sizing is not None else None,
+            "deflation_plan": list(self.deflation_plan) if self.deflation_plan else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AllocationSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        plan = data.get("deflation_plan")
+        return cls(
+            containers=data.get("containers"),
+            sizing=data.get("sizing"),
+            deflation_plan=tuple(plan) if plan else None,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serialisable description of one scenario run.
+
+    Attributes
+    ----------
+    name:
+        Identifier echoed into the results envelope.
+    kind:
+        Execution mode; one of :data:`SCENARIO_KINDS`.
+    workloads:
+        The functions and schedules driving the run (simulation kinds).
+    cluster / controller:
+        Cluster sizing and controller parameters.  ``cluster=None`` means
+        the kind's default: the paper's 3-node testbed for
+        ``simulate``/``openwhisk``, and an auto-sized isolation cluster
+        (big enough that placement never constrains the queueing
+        behaviour) for ``fixed``.
+    allocation:
+        Fixed-allocation policy (``kind="fixed"`` only).
+    duration:
+        Simulated seconds of workload.
+    warmup:
+        Seconds excluded from waiting-time/SLO accounting (start-up
+        transient).
+    seed:
+        Master seed for every RNG stream of the run.
+    user_weights:
+        Optional explicit user weights; builds the two-level fair-share
+        tree from the workloads' ``user`` fields (Figure 9 style).
+    warm_start:
+        Containers created (and warmed) per function before t=0.
+    metrics:
+        Which metric groups to include in the results (see
+        :data:`KNOWN_METRICS`).
+    params:
+        Kind-specific extras (e.g. the sizing-benchmark grid).
+    extra_drain:
+        Seconds the event loop runs past the horizon so in-flight
+        requests complete.
+    """
+
+    name: str
+    kind: str = "simulate"
+    description: str = ""
+    workloads: Tuple[WorkloadSpec, ...] = ()
+    cluster: Optional[ClusterSpec] = None
+    controller: ControllerSpec = field(default_factory=ControllerSpec)
+    allocation: Optional[AllocationSpec] = None
+    duration: float = 300.0
+    warmup: float = 0.0
+    seed: int = 1
+    user_weights: Optional[Mapping[str, float]] = None
+    warm_start: Mapping[str, int] = field(default_factory=dict)
+    metrics: Tuple[str, ...] = ("waiting", "slo", "utilization", "counters")
+    params: Mapping[str, Any] = field(default_factory=dict)
+    extra_drain: float = 5.0
+
+    def __post_init__(self) -> None:
+        """Validate the scenario and freeze its collections."""
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.kind not in SCENARIO_KINDS:
+            raise ValueError(f"unknown scenario kind {self.kind!r}; valid: {SCENARIO_KINDS}")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if self.kind in SIMULATION_KINDS and not self.workloads:
+            raise ValueError(f"kind {self.kind!r} requires at least one workload")
+        if self.kind == "fixed":
+            if len(self.workloads) != 1:
+                raise ValueError("kind 'fixed' takes exactly one workload")
+            if self.allocation is None:
+                raise ValueError("kind 'fixed' requires an allocation spec")
+        elif self.allocation is not None:
+            raise ValueError("allocation is only valid for kind 'fixed'")
+        names = [w.function for w in self.workloads]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate function names in workloads")
+        unknown = [m for m in self.metrics if m not in KNOWN_METRICS]
+        if unknown:
+            raise ValueError(f"unknown metrics {unknown}; valid: {KNOWN_METRICS}")
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        object.__setattr__(self, "warm_start", _freeze(dict(self.warm_start)))
+        object.__setattr__(self, "params", _freeze(dict(self.params)))
+        if self.user_weights is not None:
+            object.__setattr__(self, "user_weights", _freeze(dict(self.user_weights)))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) view of the whole scenario."""
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "name": self.name,
+            "kind": self.kind,
+            "description": self.description,
+            "workloads": [w.to_dict() for w in self.workloads],
+            "cluster": self.cluster.to_dict() if self.cluster is not None else None,
+            "controller": self.controller.to_dict(),
+            "allocation": self.allocation.to_dict() if self.allocation else None,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "user_weights": _thaw(dict(self.user_weights)) if self.user_weights else None,
+            "warm_start": _thaw(dict(self.warm_start)),
+            "metrics": list(self.metrics),
+            "params": _thaw(dict(self.params)),
+            "extra_drain": self.extra_drain,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild (and re-validate) a scenario from :meth:`to_dict` output."""
+        schema = data.get("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ValueError(f"unsupported scenario schema {schema!r}")
+        allocation = data.get("allocation")
+        return cls(
+            name=data["name"],
+            kind=data.get("kind", "simulate"),
+            description=data.get("description", ""),
+            workloads=tuple(WorkloadSpec.from_dict(w) for w in data.get("workloads", ())),
+            cluster=(ClusterSpec.from_dict(data["cluster"])
+                     if data.get("cluster") is not None else None),
+            controller=ControllerSpec.from_dict(data.get("controller", {})),
+            allocation=AllocationSpec.from_dict(allocation) if allocation else None,
+            duration=float(data.get("duration", 300.0)),
+            warmup=float(data.get("warmup", 0.0)),
+            seed=int(data.get("seed", 1)),
+            user_weights=data.get("user_weights"),
+            warm_start=data.get("warm_start", {}),
+            metrics=tuple(data.get("metrics", ("waiting", "slo", "utilization", "counters"))),
+            params=data.get("params", {}),
+            extra_drain=float(data.get("extra_drain", 5.0)),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON text of :meth:`to_dict` (canonical when ``indent`` is None)."""
+        if indent is None:
+            return canonical_json(self.to_dict())
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec from JSON text (inverse of :meth:`to_json`)."""
+        return cls.from_dict(json.loads(text))
+
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "SCENARIO_KINDS",
+    "SIMULATION_KINDS",
+    "KNOWN_METRICS",
+    "canonical_json",
+    "ScheduleSpec",
+    "WorkloadSpec",
+    "ClusterSpec",
+    "ControllerSpec",
+    "AllocationSpec",
+    "ScenarioSpec",
+]

@@ -91,6 +91,7 @@ class Event:
         args: tuple = (),
         kwargs: Optional[dict] = None,
     ) -> None:
+        """Bind the callback and its arguments."""
         self.time = time
         self.priority = priority
         self.sequence = sequence
@@ -104,6 +105,7 @@ class Event:
         self.cancelled = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Debugging summary of the event's time and target."""
         flag = " cancelled" if self.cancelled else ""
         return f"Event(t={self.time:.6f}, prio={self.priority}, seq={self.sequence}{flag})"
 
@@ -132,6 +134,7 @@ class SimulationEngine:
     PRIORITY_CONTROL = 10
 
     def __init__(self, start_time: float = 0.0) -> None:
+        """Start the engine at time zero with an empty event heap."""
         self._now = float(start_time)
         # heap of (time, priority, sequence, Event_or_callback, None_or_args)
         self._queue: list = []
@@ -385,6 +388,7 @@ class SimulationEngine:
         self._events_cancelled = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Debugging summary of the clock and event counters."""
         return (
             f"SimulationEngine(now={self._now:.3f}, pending={len(self._queue)}, "
             f"processed={self._events_processed})"

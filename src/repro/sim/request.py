@@ -143,12 +143,14 @@ class Request:
         self.completion_time = time
 
     def _require_status(self, expected: RequestStatus) -> None:
+        """Raise unless the request is in the expected status."""
         if self.status is not expected:
             raise ValueError(
                 f"request {self.request_id} is {self.status.value}, expected {expected.value}"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Debugging summary of id, function, status, and arrival time."""
         return (
             f"Request(id={self.request_id}, fn={self.function_name!r}, "
             f"status={self.status.value}, t_arr={self.arrival_time:.3f})"

@@ -34,6 +34,7 @@ class RngStreams:
     """
 
     def __init__(self, master_seed: int = 0) -> None:
+        """Create an empty registry for the given master seed."""
         if master_seed < 0:
             raise ValueError("master_seed must be non-negative")
         self._master_seed = int(master_seed)

@@ -112,6 +112,7 @@ class SimulationRunner:
         arrival_batch_size: int = 256,
         metrics: Optional[MetricsCollector] = None,
     ) -> None:
+        """Build the engine, cluster, controller, and arrival generators (see the class docstring for parameter semantics)."""
         if not workloads:
             raise ValueError("at least one workload binding is required")
         names = [w.profile.name for w in workloads]
@@ -211,6 +212,7 @@ def run_fixed_allocation(
     cluster_config: Optional[ClusterConfig] = None,
     seed: int = 1,
     deflation_plan: Optional[Sequence[float]] = None,
+    extra_drain: float = 5.0,
 ) -> SimulationResult:
     """Run a single function against a *fixed* container allocation (no autoscaling).
 
@@ -224,6 +226,9 @@ def run_fixed_allocation(
         Optional per-container CPU fractions (e.g. ``[0.7, 0.7, 1.0, 1.0]``)
         applied after the containers warm up, to create a heterogeneous
         configuration.
+    extra_drain:
+        Seconds the event loop runs past the workload horizon so
+        in-flight requests can complete and be counted.
     """
     if containers < 1:
         raise ValueError("containers must be >= 1")
@@ -273,7 +278,7 @@ def run_fixed_allocation(
         work_rng=rng.stream(f"work:{binding.profile.name}"),
     )
     generator.start()
-    engine.run(until=duration + 5.0)
+    engine.run(until=duration + extra_drain)
     return SimulationResult(
         metrics=metrics,
         cluster=cluster,

@@ -61,6 +61,7 @@ class AzureTraceConfig:
     variability: float = 0.3
 
     def __post_init__(self) -> None:
+        """Validate the trace parameters."""
         if self.mean_rate < 0:
             raise ValueError("mean_rate must be non-negative")
         if not 0 <= self.burst_probability <= 1:

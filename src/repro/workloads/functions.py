@@ -64,6 +64,7 @@ def slack_speed_curve(slack: float = 0.3, slack_penalty: float = 0.1) -> Callabl
     knee_speed = 1.0 / (1.0 + slack_penalty)
 
     def speed(cpu_fraction: float) -> float:
+        """Speed multiplier at a given CPU fraction."""
         fraction = min(1.0, max(1e-6, cpu_fraction))
         if fraction >= knee_fraction:
             # linear interpolation of the (small) penalty inside the slack region
@@ -122,6 +123,7 @@ class FunctionProfile:
     is_dnn: bool = False
 
     def __post_init__(self) -> None:
+        """Validate the container size and service time."""
         if self.cpu <= 0 or self.memory_mb <= 0:
             raise ValueError(f"{self.name}: container size must be positive")
         if self.mean_service_time <= 0:
@@ -146,6 +148,7 @@ class FunctionProfile:
         return self.mean_service_time / self.speed_curve()(cpu_fraction)
 
     def _work_dist(self):
+        """The cached service-time distribution scaled to the profile's mean."""
         dist = self.__dict__.get("_work_distribution")
         if dist is None:
             # cache the scaled distribution: building it per request put an

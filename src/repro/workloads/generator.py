@@ -73,6 +73,7 @@ class _ThinningSampler:
         thinning_window: float,
         chunk: int = 256,
     ) -> None:
+        """Bind the schedule, RNG, and thinning-window geometry."""
         self.schedule = schedule
         self.rng = rng
         self.horizon = horizon
@@ -86,6 +87,7 @@ class _ThinningSampler:
         self.exhausted = False
 
     def _refill(self) -> None:
+        """Thin one window of candidates and append the accepted arrivals."""
         self._pairs = self.rng.random((self.chunk, 2))
         self._pos = 0
 
@@ -195,6 +197,7 @@ class ArrivalGenerator:
         batch_size: int = 256,
         work_rng: Optional[np.random.Generator] = None,
     ) -> None:
+        """Wire the generator's sampler and RNG streams (see the class docstring for parameter semantics)."""
         if thinning_window <= 0:
             raise ValueError("thinning_window must be positive")
         if batch_size < 1:
@@ -253,6 +256,7 @@ class ArrivalGenerator:
         self.engine.call_at(times[-1], self._pump)
 
     def _emit(self, arrival_time: float, work: float) -> None:
+        """Create one request at its arrival time and hand it to dispatch."""
         deadline = None if self.slo_deadline is None else arrival_time + self.slo_deadline
         request = Request(
             function_name=self.profile.name,

@@ -71,12 +71,14 @@ class StaticRate(RateSchedule):
     duration: Optional[float] = None
 
     def __post_init__(self) -> None:
+        """Validate the rate and duration."""
         if self.value < 0:
             raise ValueError("rate must be non-negative")
         if self.duration is not None and self.duration <= 0:
             raise ValueError("duration must be positive")
 
     def rate(self, t: float) -> float:
+        """The instantaneous rate at time ``t``."""
         if t < 0:
             return 0.0
         if self.duration is not None and t >= self.duration:
@@ -84,9 +86,11 @@ class StaticRate(RateSchedule):
         return self.value
 
     def max_rate(self, start: float, end: float) -> float:
+        """Upper bound on the rate over ``[start, end]``."""
         return self.value
 
     def rate_many(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized λ(t) evaluation."""
         times = np.asarray(times, dtype=float)
         live = times >= 0
         if self.duration is not None:
@@ -95,6 +99,7 @@ class StaticRate(RateSchedule):
 
     @property
     def end_time(self) -> Optional[float]:
+        """Time after which the rate is zero forever (``None`` = never)."""
         return self.duration
 
 
@@ -111,6 +116,7 @@ class StepSchedule(RateSchedule):
     """
 
     def __init__(self, steps: Sequence[Tuple[float, float]], duration: Optional[float] = None) -> None:
+        """Validate and index the ``(time, rate)`` steps."""
         if not steps:
             raise ValueError("at least one step is required")
         ordered = sorted((float(t), float(r)) for t, r in steps)
@@ -125,6 +131,7 @@ class StepSchedule(RateSchedule):
         self._duration = duration
 
     def rate(self, t: float) -> float:
+        """The instantaneous rate at time ``t``."""
         if t < self._times[0]:
             return 0.0
         if self._duration is not None and t >= self._duration:
@@ -133,6 +140,7 @@ class StepSchedule(RateSchedule):
         return self._rates[index]
 
     def rate_many(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized λ(t) evaluation."""
         times = np.asarray(times, dtype=float)
         indices = np.searchsorted(self._times_arr, times, side="right") - 1
         rates = self._rates_arr[np.clip(indices, 0, None)]
@@ -142,6 +150,7 @@ class StepSchedule(RateSchedule):
         return np.where(dead, 0.0, rates)
 
     def max_rate(self, start: float, end: float) -> float:
+        """Upper bound on the rate over ``[start, end]``."""
         relevant = [self.rate(start)]
         for t, r in zip(self._times, self._rates):
             if start <= t <= end:
@@ -150,6 +159,7 @@ class StepSchedule(RateSchedule):
 
     @property
     def end_time(self) -> Optional[float]:
+        """Time after which the rate is zero forever (``None`` = never)."""
         return self._duration
 
     @property
@@ -183,6 +193,7 @@ class RampSchedule(RateSchedule):
     """
 
     def __init__(self, points: Sequence[Tuple[float, float]], duration: Optional[float] = None) -> None:
+        """Validate and sort the interpolation knots."""
         if len(points) < 2:
             raise ValueError("at least two points are required")
         ordered = sorted((float(t), float(r)) for t, r in points)
@@ -193,6 +204,7 @@ class RampSchedule(RateSchedule):
         self._duration = duration
 
     def rate(self, t: float) -> float:
+        """The instantaneous rate at time ``t``."""
         if t < 0:
             return 0.0
         if self._duration is not None and t >= self._duration:
@@ -200,6 +212,7 @@ class RampSchedule(RateSchedule):
         return float(np.interp(t, self._times, self._rates))
 
     def rate_many(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized λ(t) evaluation."""
         times = np.asarray(times, dtype=float)
         rates = np.interp(times, self._times, self._rates)
         dead = times < 0
@@ -208,6 +221,7 @@ class RampSchedule(RateSchedule):
         return np.where(dead, 0.0, rates)
 
     def max_rate(self, start: float, end: float) -> float:
+        """Upper bound on the rate over ``[start, end]``."""
         candidates = [self.rate(start), self.rate(end)]
         for t, r in zip(self._times, self._rates):
             if start <= t <= end:
@@ -216,6 +230,7 @@ class RampSchedule(RateSchedule):
 
     @property
     def end_time(self) -> Optional[float]:
+        """Time after which the rate is zero forever (``None`` = never)."""
         return self._duration
 
 
@@ -227,6 +242,7 @@ class TraceSchedule(RateSchedule):
     """
 
     def __init__(self, counts: Sequence[float], interval: float = 60.0, start: float = 0.0) -> None:
+        """Validate the per-interval counts."""
         if interval <= 0:
             raise ValueError("interval must be positive")
         counts_arr = np.asarray(counts, dtype=float)
@@ -239,6 +255,7 @@ class TraceSchedule(RateSchedule):
         self.start = float(start)
 
     def rate(self, t: float) -> float:
+        """The instantaneous rate at time ``t``."""
         offset = t - self.start
         if offset < 0:
             return 0.0
@@ -248,6 +265,7 @@ class TraceSchedule(RateSchedule):
         return float(self._counts[index] / self.interval)
 
     def rate_many(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized λ(t) evaluation."""
         offsets = np.asarray(times, dtype=float) - self.start
         indices = np.floor_divide(offsets, self.interval).astype(int)
         dead = (offsets < 0) | (indices >= self._counts.size)
@@ -255,6 +273,7 @@ class TraceSchedule(RateSchedule):
         return np.where(dead, 0.0, rates)
 
     def max_rate(self, start: float, end: float) -> float:
+        """Upper bound on the rate over ``[start, end]``."""
         i0 = max(0, int((start - self.start) // self.interval))
         i1 = min(self._counts.size - 1, int((end - self.start) // self.interval))
         if i1 < i0:
@@ -263,6 +282,7 @@ class TraceSchedule(RateSchedule):
 
     @property
     def end_time(self) -> Optional[float]:
+        """Time after which the trace is exhausted."""
         return self.start + self._counts.size * self.interval
 
     @property
@@ -279,14 +299,17 @@ class CompositeSchedule(RateSchedule):
     """The sum of several schedules (e.g. a base load plus bursts)."""
 
     def __init__(self, schedules: Sequence[RateSchedule]) -> None:
+        """Validate and store the child schedules."""
         if not schedules:
             raise ValueError("at least one schedule is required")
         self._schedules = list(schedules)
 
     def rate(self, t: float) -> float:
+        """The instantaneous rate at time ``t`` (sum of the children)."""
         return sum(s.rate(t) for s in self._schedules)
 
     def rate_many(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized λ(t) evaluation (sum of the children)."""
         times = np.asarray(times, dtype=float)
         total = np.zeros_like(times)
         for schedule in self._schedules:
@@ -294,10 +317,12 @@ class CompositeSchedule(RateSchedule):
         return total
 
     def max_rate(self, start: float, end: float) -> float:
+        """Upper bound on the rate over ``[start, end]`` (sum of bounds)."""
         return sum(s.max_rate(start, end) for s in self._schedules)
 
     @property
     def end_time(self) -> Optional[float]:
+        """Latest child end time (``None`` if any child never ends)."""
         ends = [s.end_time for s in self._schedules]
         if any(e is None for e in ends):
             return None

@@ -1,0 +1,50 @@
+"""Docstring-coverage gate for ``src/repro`` (tier-1 twin of the CI interrogate step).
+
+CI runs ``interrogate --fail-under=90 src/repro``; this test enforces
+the same threshold with the offline checker in
+``tools/check_docstrings.py`` so the gate also holds where interrogate
+is not installed.  Both count docstrings on modules, classes, and
+functions/methods (including ``__init__``, dunders, and nested
+functions), so they agree on what coverage means.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docstrings import DEFAULT_FAIL_UNDER, check_paths  # noqa: E402
+
+
+def test_docstring_coverage_at_least_90_percent():
+    """Every module/class/function census must be ≥90% documented."""
+    report = check_paths([str(REPO_ROOT / "src" / "repro")])
+    assert report.total > 0
+    message = (
+        f"docstring coverage {report.percentage:.1f}% is below "
+        f"{DEFAULT_FAIL_UNDER:.0f}%; missing:\n" + "\n".join(report.missing[:40])
+    )
+    assert report.percentage >= DEFAULT_FAIL_UNDER, message
+
+
+def test_checker_counts_definitions(tmp_path):
+    """The checker sees modules, classes, methods, and nested functions."""
+    sample = tmp_path / "sample.py"
+    sample.write_text(
+        '"""Module."""\n'
+        "class A:\n"
+        '    """Class."""\n'
+        "    def documented(self):\n"
+        '        """Doc."""\n'
+        "    def undocumented(self):\n"
+        "        pass\n"
+        "def outer():\n"
+        '    """Doc."""\n'
+        "    def inner():\n"
+        "        pass\n"
+    )
+    report = check_paths([str(sample)])
+    assert report.total == 6  # module, A, 2 methods, outer, inner
+    assert report.documented == 4
+    assert len(report.missing) == 2

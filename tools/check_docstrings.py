@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Docstring-coverage checker (offline stand-in for ``interrogate``).
+
+Walks a package directory, AST-parses every ``.py`` file, and counts
+docstrings on modules, classes, and (sync or async) functions/methods —
+the same population ``interrogate`` checks with its default settings, so
+the two gates agree on what "coverage" means.  CI runs the real
+``interrogate --fail-under=90 src/repro``; this script backs the tier-1
+test (``tests/test_docstring_coverage.py``) so the gate also holds in
+environments where interrogate is not installed.
+
+Usage::
+
+    python tools/check_docstrings.py [--fail-under PCT] [-v] [PATH ...]
+
+Exit status is 0 when coverage meets the threshold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Default package directory the gate applies to (relative to the repo root).
+DEFAULT_PATHS = ("src/repro",)
+
+#: Default minimum coverage percentage (kept in lock-step with CI).
+DEFAULT_FAIL_UNDER = 90.0
+
+
+@dataclass
+class CoverageReport:
+    """Counts of documented vs. total definitions, plus what is missing."""
+
+    total: int = 0
+    documented: int = 0
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def percentage(self) -> float:
+        """Documented definitions as a percentage of all definitions."""
+        if self.total == 0:
+            return 100.0
+        return 100.0 * self.documented / self.total
+
+    def merge(self, other: "CoverageReport") -> None:
+        """Fold another report's counts into this one."""
+        self.total += other.total
+        self.documented += other.documented
+        self.missing.extend(other.missing)
+
+
+def _definitions(tree: ast.Module) -> Iterable[Tuple[str, ast.AST]]:
+    """Yield ``(dotted name, node)`` for the module and every class/function."""
+    yield "<module>", tree
+    stack: List[Tuple[str, ast.AST]] = [("", tree)]
+    while stack:
+        prefix, node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = f"{prefix}.{child.name}" if prefix else child.name
+                yield name, child
+                stack.append((name, child))
+
+
+def check_file(path: Path) -> CoverageReport:
+    """Docstring coverage of one Python source file."""
+    report = CoverageReport()
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for name, node in _definitions(tree):
+        report.total += 1
+        if ast.get_docstring(node):
+            report.documented += 1
+        else:
+            line = getattr(node, "lineno", 1)
+            report.missing.append(f"{path}:{line}: {name}")
+    return report
+
+
+def check_paths(paths: Iterable[str]) -> CoverageReport:
+    """Docstring coverage of every ``.py`` file under the given paths."""
+    report = CoverageReport()
+    for root in paths:
+        root_path = Path(root)
+        files = sorted(root_path.rglob("*.py")) if root_path.is_dir() else [root_path]
+        for file_path in files:
+            report.merge(check_file(file_path))
+    return report
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help=f"files/directories to check (default: {DEFAULT_PATHS})")
+    parser.add_argument("--fail-under", type=float, default=DEFAULT_FAIL_UNDER,
+                        help=f"minimum coverage percentage (default {DEFAULT_FAIL_UNDER})")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="list every undocumented definition")
+    args = parser.parse_args(argv)
+
+    report = check_paths(args.paths)
+    if args.verbose:
+        for entry in report.missing:
+            print(entry)
+    status = "PASSED" if report.percentage >= args.fail_under else "FAILED"
+    print(f"docstring coverage: {report.documented}/{report.total} "
+          f"({report.percentage:.1f}%), required {args.fail_under:.1f}% — {status}")
+    return 0 if status == "PASSED" else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
