@@ -1,0 +1,168 @@
+"""Frozen copy of the pre-solver (PR-2) sizing fast path.
+
+Like :mod:`benchmarks.perf.baseline_engine`, this module preserves the
+*old* implementation verbatim so the solver benchmarks can measure the
+live control plane against the seed behaviour in the same process, on
+the same host, under identical conditions.  Do not "fix" or optimise
+this code — its slowness is the baseline being measured:
+
+* ``_wait_probability_vectorised`` is the old per-candidate Python loop
+  that rebuilt ``np.arange`` + ``gammaln`` tables and ran ``logsumexp``
+  on every probe;
+* ``required_containers_fast`` is the old exponential + binary search
+  that evaluated one candidate per kernel call;
+* :class:`BaselineSizingSolver` adapts both to the
+  :class:`repro.core.queueing.solver.SizingSolver` interface so they
+  can be injected into a live :class:`~repro.core.allocation.autoscaler.Autoscaler`
+  (no memoization, no warm starts, no batching — the seed per-epoch
+  behaviour).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List, Optional, Sequence
+
+import numpy as np
+from scipy import special
+
+from repro.core.queueing.sizing import (
+    SizingResult,
+    required_containers_heterogeneous,
+)
+from repro.core.queueing.solver import SizingQuery
+
+
+def _wait_probability_vectorised(lam: float, mu: float, cs: np.ndarray, t: float) -> np.ndarray:
+    """``P(Q <= t)`` per candidate ``c`` — the seed's per-candidate Python loop."""
+    r = lam / mu
+    log_r = math.log(r) if r > 0 else -np.inf
+    out = np.zeros(cs.shape, dtype=float)
+    for idx, c in enumerate(cs):
+        c = int(c)
+        rho = r / c
+        if rho >= 1.0:
+            out[idx] = 0.0
+            continue
+        L = int(math.floor(t * c * mu + c - 1 + 1e-12))
+        if L < 0:
+            out[idx] = 0.0
+            continue
+        n = np.arange(L + 1)
+        log_terms = n * log_r - special.gammaln(np.minimum(n, c) + 1)
+        over = n > c
+        if over.any():
+            log_terms[over] -= (n[over] - c) * math.log(c)
+        n_head = np.arange(c)
+        log_head = n_head * log_r - special.gammaln(n_head + 1)
+        log_tail = c * log_r - special.gammaln(c + 1) - math.log(1.0 - rho)
+        log_norm = special.logsumexp(np.append(log_head, log_tail))
+        out[idx] = min(1.0, float(np.exp(special.logsumexp(log_terms) - log_norm)))
+    return out
+
+
+def required_containers_fast(
+    lam: float,
+    mu: float,
+    wait_budget: float,
+    percentile: float = 0.95,
+    current_containers: int = 0,
+    max_containers: int = 100_000,
+) -> SizingResult:
+    """The seed's exponential + binary Algorithm 1 (one candidate per probe)."""
+    if lam < 0:
+        raise ValueError("arrival rate must be non-negative")
+    if mu <= 0:
+        raise ValueError("service rate must be positive")
+    if wait_budget < 0:
+        raise ValueError("wait budget must be non-negative")
+    if not 0 < percentile < 1:
+        raise ValueError("percentile must be in (0, 1)")
+    if lam == 0:
+        return SizingResult(0, 1.0, wait_budget, 0)
+
+    min_stable = int(math.floor(lam / mu)) + 1
+    lo = max(1, int(current_containers), min_stable)
+    iterations = 0
+
+    hi = lo
+    batch = 1
+    while hi <= max_containers:
+        iterations += 1
+        prob = _wait_probability_vectorised(lam, mu, np.array([hi]), wait_budget)[0]
+        if prob >= percentile:
+            break
+        batch *= 2
+        hi += batch
+    else:
+        raise ValueError("could not satisfy SLO within max_containers")
+    hi = min(hi, max_containers)
+
+    while lo < hi:
+        mid = (lo + hi) // 2
+        iterations += 1
+        prob = _wait_probability_vectorised(lam, mu, np.array([mid]), wait_budget)[0]
+        if prob >= percentile:
+            hi = mid
+        else:
+            lo = mid + 1
+    final_prob = _wait_probability_vectorised(lam, mu, np.array([lo]), wait_budget)[0]
+    return SizingResult(containers=int(lo), achieved_probability=float(final_prob),
+                        wait_budget=wait_budget, iterations=iterations)
+
+
+class BaselineSizingSolver:
+    """Solver-interface shim over the frozen seed sizing path.
+
+    Injected into a live autoscaler (``autoscaler.solver = BaselineSizingSolver()``)
+    to benchmark the epoch tick exactly as it behaved before the
+    memoized solver existed: every function, every epoch, a fresh
+    one-candidate-at-a-time search.
+    """
+
+    def solve(
+        self,
+        lam: float,
+        mu: float,
+        wait_budget: float,
+        percentile: float = 0.95,
+        current_containers: int = 0,
+        max_containers: int = 100_000,
+        key: Optional[Hashable] = None,
+    ) -> SizingResult:
+        """One cold seed-path solve (``key`` is accepted and ignored)."""
+        return required_containers_fast(
+            lam, mu, wait_budget, percentile,
+            current_containers=current_containers, max_containers=max_containers,
+        )
+
+    def solve_batch(self, queries: Sequence[SizingQuery]) -> List[SizingResult]:
+        """The seed had no batching: one cold solve per query."""
+        return [
+            self.solve(q.lam, q.mu, q.wait_budget, q.percentile,
+                       q.current_containers, q.max_containers)
+            for q in queries
+        ]
+
+    def solve_heterogeneous(
+        self,
+        lam: float,
+        existing_mus: Sequence[float],
+        standard_mu: float,
+        wait_budget: float,
+        percentile: float = 0.95,
+        max_additional: int = 100_000,
+        key: Optional[Hashable] = None,
+    ) -> SizingResult:
+        """The seed's linear heterogeneous search (uncached)."""
+        return required_containers_heterogeneous(
+            lam=lam, existing_mus=list(existing_mus), standard_mu=standard_mu,
+            wait_budget=wait_budget, percentile=percentile,
+            max_additional=max_additional,
+        )
+
+
+__all__ = [
+    "BaselineSizingSolver",
+    "required_containers_fast",
+]

@@ -2,18 +2,25 @@
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] [--output BENCH_PR1.json]
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] [--output BENCH_PR3.json]
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --compare BENCH_PR1.json
 
 Two kinds of baseline are reported:
 
 * ``in-process``: the event-loop benchmarks run the frozen seed engine
-  (:mod:`benchmarks.perf.baseline_engine`) in the same process, so the
-  speedup is measured under identical conditions on every host.
+  (:mod:`benchmarks.perf.baseline_engine`), and the control-plane
+  benchmarks run the naive Algorithm 1 / the frozen seed sizing path
+  (:mod:`benchmarks.perf.baseline_sizing`), in the same process — so
+  those speedups are measured under identical conditions on every host.
 * ``recorded``: the dispatcher and end-to-end benchmarks exercise the
   whole current stack, which cannot be swapped back to the seed code at
   runtime; their baselines come from ``seed_baseline.json``, recorded on
   the PR-0 tree (machine-dependent — regenerate both files together when
   the host changes).
+
+``--compare`` loads a prior ``BENCH_*.json`` and prints per-benchmark
+deltas, so the perf trajectory across PRs is inspectable without manual
+JSON diffing.
 
 See EXPERIMENTS.md ("Performance") for the JSON schema.
 """
@@ -143,6 +150,42 @@ def run_all(quick: bool, repeats: Optional[int] = None) -> dict:
         )
     )
 
+    sizing_kwargs = (
+        {"functions": 32, "epochs": 30} if quick else {"functions": 64, "epochs": 50}
+    )
+    sizing = _best_of(
+        repeats, scenarios.bench_sizing_solver, key="solves_per_sec", **sizing_kwargs
+    )
+    rows.append(
+        _bench_row(
+            "sizing_solver_epoch_sequence", "solves_per_sec", sizing["solves_per_sec"],
+            sizing["naive_solves_per_sec"],
+            "in-process naive Algorithm 1 (per-epoch cold search)",
+            sizing_kwargs,
+        )
+    )
+
+    tick_kwargs = (
+        {"functions": 24, "epochs": 8, "arrival_rate": 120.0}
+        if quick
+        else {"functions": 64, "epochs": 30, "arrival_rate": 240.0}
+    )
+    tick_live = _best_of(
+        repeats, scenarios.bench_epoch_tick, key="epochs_per_sec", **tick_kwargs
+    )
+    tick_base = _best_of(
+        repeats, scenarios.bench_epoch_tick, key="epochs_per_sec",
+        baseline=True, **tick_kwargs,
+    )
+    rows.append(
+        _bench_row(
+            "controller_epoch_tick", "epochs_per_sec", tick_live["epochs_per_sec"],
+            tick_base["epochs_per_sec"],
+            "in-process frozen seed sizing path",
+            tick_kwargs,
+        )
+    )
+
     e2e = _best_of(repeats, scenarios.bench_end_to_end, better="min", key="seconds", **e2e_kwargs)
     recorded_key = "end_to_end_quick" if quick else "end_to_end"
     recorded_e2e = seed_baseline.get(recorded_key, {}).get("seconds")
@@ -161,7 +204,7 @@ def run_all(quick: bool, repeats: Optional[int] = None) -> dict:
 
     return {
         "schema_version": SCHEMA_VERSION,
-        "pr": "PR1",
+        "pr": "PR3",
         "created_unix": time.time(),
         "quick": quick,
         "host": {
@@ -172,17 +215,57 @@ def run_all(quick: bool, repeats: Optional[int] = None) -> dict:
     }
 
 
+def _print_comparison(document: dict, compare_path: str) -> None:
+    """Print per-benchmark deltas against a prior ``BENCH_*.json``.
+
+    Rates (``*_per_sec``) improve upward, wall-clock improves downward;
+    the printed ratio is always "how much better than the prior PR"
+    (> 1 means this tree is faster on that benchmark).
+    """
+    prior = json.loads(Path(compare_path).read_text())
+    prior_rows = {row["name"]: row for row in prior.get("benchmarks", [])}
+    print(f"\nvs {compare_path} (pr={prior.get('pr', '?')}, quick={prior.get('quick')}):")
+    for row in document["benchmarks"]:
+        old = prior_rows.get(row["name"])
+        if old is None:
+            print(f"  {row['name']:28s} (new in this PR)")
+            continue
+        new_value, old_value = row["value"], old["value"]
+        if row.get("params") != old.get("params"):
+            # e.g. a --quick run against a committed full-size document:
+            # the workloads differ, so a value ratio would be meaningless
+            print(
+                f"  {row['name']:28s} {old_value:>14,.1f} vs {new_value:>14,.1f} "
+                f"{row['unit']}  (params differ — not comparable)"
+            )
+            continue
+        lower_is_better = not row["unit"].endswith("_per_sec")
+        ratio = (old_value / new_value) if lower_is_better else (new_value / old_value)
+        direction = "lower is better" if lower_is_better else "higher is better"
+        print(
+            f"  {row['name']:28s} {old_value:>14,.1f} -> {new_value:>14,.1f} "
+            f"{row['unit']}  ({ratio:.2f}x, {direction})"
+        )
+    missing = sorted(set(prior_rows) - {row["name"] for row in document["benchmarks"]})
+    for name in missing:
+        print(f"  {name:28s} (dropped since {prior.get('pr', '?')})")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="small sizes for CI (~15 s)")
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI (~20 s)")
     parser.add_argument(
         "--repeats", type=int, default=None,
         help="best-of-N repetitions per benchmark (default: 3 full, 1 quick); "
         "raise on noisy hosts",
     )
     parser.add_argument(
-        "--output", default=str(_REPO / "BENCH_PR1.json"),
-        help="where to write the JSON document (default: repo root BENCH_PR1.json)",
+        "--output", default=str(_REPO / "BENCH_PR3.json"),
+        help="where to write the JSON document (default: repo root BENCH_PR3.json)",
+    )
+    parser.add_argument(
+        "--compare", metavar="BENCH_JSON", default=None,
+        help="prior BENCH_*.json to print per-benchmark deltas against",
     )
     args = parser.parse_args(argv)
     document = run_all(quick=args.quick, repeats=args.repeats)
@@ -191,6 +274,8 @@ def main(argv=None) -> int:
         speed = row.get("speedup")
         speed_text = f"  ({speed:.2f}x vs {row.get('baseline_source', '?')})" if speed else ""
         print(f"{row['name']:28s} {row['value']:>14,.1f} {row['unit']}{speed_text}")
+    if args.compare:
+        _print_comparison(document, args.compare)
     print(f"wrote {args.output}")
     return 0
 

@@ -10,15 +10,19 @@ with repetition and JSON output.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
-_SRC = Path(__file__).resolve().parents[2] / "src"
-if str(_SRC) not in sys.path:  # allow running as a plain script
-    sys.path.insert(0, str(_SRC))
+# allow running as a plain script: src/ for the library, benchmarks/ for
+# the sibling baseline modules deferred into function bodies
+for _path in (Path(__file__).resolve().parents[2] / "src",
+              Path(__file__).resolve().parents[1]):
+    if str(_path) not in sys.path:
+        sys.path.insert(0, str(_path))
 
 from repro.cluster.container import Container  # noqa: E402
 from repro.core.dispatch import SharedQueueDispatcher  # noqa: E402
@@ -198,4 +202,137 @@ def bench_end_to_end(
         "sim_events": float(runner.engine.events_processed),
         "sim_events_per_sec": runner.engine.events_processed / elapsed,
         "p95_wait": result.waiting_summary(warmup=30.0).p95,
+    }
+
+
+def _drifting_rate(function_index: int, epoch: int) -> float:
+    """Deterministic slowly-drifting per-function arrival rate.
+
+    A per-function base rate modulated by a slow sinusoid (period 25
+    epochs, ±12 %), quantised to 2 decimals so sweep-style revisits of
+    the same operating point actually repeat — the pattern real control
+    loops and parameter sweeps produce.
+    """
+    base = 60.0 + 17.0 * function_index
+    phase = 2.0 * math.pi * (epoch % 25) / 25.0 + 0.7 * function_index
+    return max(0.1, round(base * (1.0 + 0.12 * math.sin(phase)), 2))
+
+
+def bench_sizing_solver(
+    functions: int = 64, epochs: int = 50, mu: float = 10.0,
+    wait_budget: float = 0.1, percentile: float = 0.95,
+) -> Dict[str, float]:
+    """Warm-started epoch-sequence sizing vs the naive per-epoch search.
+
+    Replays ``epochs`` control epochs over ``functions`` functions whose
+    arrival rates drift slowly (the controller's real workload shape).
+    The baseline re-runs the deliberately naive Algorithm 1
+    (pure-Python, term-by-term — the paper's "Scala path") from scratch
+    for every function every epoch; the live path sizes each epoch with
+    one batched, memoized, warm-started ``SizingSolver`` call.  Both
+    must return identical container counts — the assertion at the end
+    is part of the benchmark's contract.
+    """
+    from repro.core.queueing.sizing import required_containers_naive  # noqa: E402
+    from repro.core.queueing.solver import SizingQuery, SizingSolver  # noqa: E402
+
+    grid = [
+        [_drifting_rate(i, e) for i in range(functions)]
+        for e in range(epochs)
+    ]
+
+    start = time.perf_counter()
+    naive_counts = [
+        [
+            required_containers_naive(lam, mu, wait_budget, percentile).containers
+            for lam in row
+        ]
+        for row in grid
+    ]
+    naive_seconds = time.perf_counter() - start
+
+    solver = SizingSolver()
+    start = time.perf_counter()
+    solver_counts = []
+    for row in grid:
+        queries = [
+            SizingQuery(lam=lam, mu=mu, wait_budget=wait_budget,
+                        percentile=percentile, key=i)
+            for i, lam in enumerate(row)
+        ]
+        solver_counts.append([r.containers for r in solver.solve_batch(queries)])
+    solver_seconds = time.perf_counter() - start
+
+    assert solver_counts == naive_counts, "solver diverged from the naive oracle"
+    solves = float(functions * epochs)
+    return {
+        "solves": solves,
+        "naive_seconds": naive_seconds,
+        "solver_seconds": solver_seconds,
+        "solves_per_sec": solves / solver_seconds,
+        "naive_solves_per_sec": solves / naive_seconds,
+        "speedup": naive_seconds / solver_seconds,
+    }
+
+
+def bench_epoch_tick(
+    functions: int = 64, epochs: int = 30, arrival_rate: float = 240.0,
+    baseline: bool = False,
+) -> Dict[str, float]:
+    """Controller epoch-tick throughput with the control plane saturated.
+
+    Builds a real controller over a large cluster, feeds each function a
+    burst-window arrival history (so the rate estimators report a high
+    per-function λ), runs one untimed warm-up epoch (which creates the
+    steady-state container fleet), then times ``epochs`` full
+    ``run_epoch`` calls: rate estimation → EWMA → batched model solves →
+    scaling plan → metrics snapshot.  ``baseline=True`` injects the
+    frozen seed sizing path (per-function, per-epoch cold searches) into
+    the same live controller, so the speedup isolates the solver.
+    """
+    from repro.cluster.cluster import ClusterConfig, EdgeCluster, FunctionDeployment  # noqa: E402
+    from repro.core.controller import ControllerConfig, LassController  # noqa: E402
+
+    engine = SimulationEngine()
+    node_cpu = 48.0
+    cluster = EdgeCluster(engine, ClusterConfig(node_count=functions, cpu_per_node=node_cpu))
+    names = [f"tick-fn-{i}" for i in range(functions)]
+    for name in names:
+        cluster.deploy(FunctionDeployment(name=name, cpu=1.0, memory_mb=128.0,
+                                          slo_deadline=0.1))
+    controller = LassController(
+        engine, cluster, ControllerConfig(),
+        default_service_rates={name: 10.0 for name in names},
+    )
+    if baseline:
+        from perf.baseline_sizing import BaselineSizingSolver  # noqa: E402
+
+        controller.autoscaler.solver = BaselineSizingSolver()
+
+    # Fill each function's short rate window with a spread of per-function
+    # rates (±25 % around arrival_rate).  The estimators have no
+    # bulk-ingest API — this reaches into controller state the same way
+    # the dispatch data path does, without paying for request execution.
+    now = 130.0
+    for i, name in enumerate(names):
+        estimator = controller._functions[name].rate_estimator
+        rate = arrival_rate * (0.75 + 0.5 * i / max(1, functions - 1))
+        count = int(rate * 10.0)
+        for k in range(count):
+            estimator.record_arrival(now - 10.0 + 10.0 * (k + 0.5) / count)
+    engine.schedule(now, lambda: None)
+    engine.run()
+
+    controller.run_epoch()  # untimed warm-up: builds the container fleet
+    start = time.perf_counter()
+    for _ in range(epochs):
+        controller.run_epoch()
+    elapsed = time.perf_counter() - start
+    return {
+        "epochs": float(epochs),
+        "functions": float(functions),
+        "seconds": elapsed,
+        "seconds_per_epoch": elapsed / epochs,
+        "epochs_per_sec": epochs / elapsed,
+        "containers": float(len(cluster.all_containers())),
     }

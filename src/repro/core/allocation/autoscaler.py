@@ -6,21 +6,64 @@ time, and the SLO, how many containers should this function have?  It
 chooses automatically between the homogeneous model (all containers at
 standard size) and the heterogeneous Alves et al. model (some
 containers deflated), exactly as the paper prescribes.
+
+All model evaluations route through a
+:class:`repro.core.queueing.solver.SizingSolver` — the memoized,
+warm-started, candidate-vectorised control-plane fast path — unless
+``use_fast_sizing=False`` pins the reference Algorithm 1 for ablations.
+The controller sizes every registered function per epoch through
+:meth:`Autoscaler.decide_batch`, which folds all warm-start probes into
+a single kernel call.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.queueing.sizing import (
     SizingResult,
     required_containers,
-    required_containers_fast,
     required_containers_heterogeneous,
     wait_budget_from_slo,
 )
+from repro.core.queueing.solver import SizingQuery, SizingSolver, default_solver
+
+
+@dataclass(frozen=True)
+class ScalingQuery:
+    """One function's inputs to the epoch sizing decision.
+
+    Attributes
+    ----------
+    function_name:
+        The function to size (also the solver's warm-start key).
+    arrival_rate:
+        Estimated (smoothed) arrival rate λ for the next epoch.
+    service_rate:
+        Service rate μ of a *standard* container.
+    slo_deadline:
+        The SLO deadline ``d`` in seconds.
+    current_containers:
+        Containers currently allocated (reported back on the decision).
+    existing_service_rates:
+        Per-container service rates when the fleet is heterogeneous
+        (some containers deflated); ``None`` for the homogeneous model.
+    service_time_percentile:
+        High-percentile service time used to tighten the wait budget.
+    min_containers:
+        A floor on the answer (e.g. keep-warm minimum).
+    """
+
+    function_name: str
+    arrival_rate: float
+    service_rate: float
+    slo_deadline: float
+    current_containers: int = 0
+    existing_service_rates: Optional[Sequence[float]] = None
+    service_time_percentile: Optional[float] = None
+    min_containers: int = 0
 
 
 @dataclass(frozen=True)
@@ -81,10 +124,12 @@ class Autoscaler:
         The SLO percentile (paper default: 95 %; model validation also
         uses 99 %).
     use_fast_sizing:
-        Use the vectorised/binary-search sizing path.  The reference and
-        fast paths return identical counts; the fast one is what makes
-        sub-second reaction possible with thousands of containers
-        (Figure 5).
+        Route sizing (homogeneous and heterogeneous alike) through the
+        memoized solver; ``False`` pins the stateless reference
+        implementations for ablations.  Both return identical counts;
+        the solver is what makes sub-second reaction possible with
+        thousands of containers (Figure 5) and thousands of functions
+        per epoch.
     headroom_containers:
         Extra containers added on top of the model's answer (0 in the
         paper; exposed for ablations).
@@ -93,6 +138,10 @@ class Autoscaler:
         conservative rule).  If false the full deadline is used as the
         waiting budget, matching experiments whose SLO is defined on
         waiting time only.
+    solver:
+        The :class:`SizingSolver` (or interface-compatible object) used
+        for model evaluations; defaults to the process-wide shared
+        instance.  Benchmarks inject frozen baselines here.
     """
 
     def __init__(
@@ -102,6 +151,7 @@ class Autoscaler:
         headroom_containers: int = 0,
         subtract_service_percentile: bool = False,
         max_containers: int = 100_000,
+        solver: Optional[SizingSolver] = None,
     ) -> None:
         """Configure the SLO percentile and which sizing implementations to use."""
         if not 0 < percentile < 1:
@@ -113,6 +163,7 @@ class Autoscaler:
         self.headroom_containers = int(headroom_containers)
         self.subtract_service_percentile = bool(subtract_service_percentile)
         self.max_containers = int(max_containers)
+        self.solver = solver if solver is not None else default_solver()
 
     # ------------------------------------------------------------------
     # Sizing
@@ -141,88 +192,128 @@ class Autoscaler:
         service_time_percentile: Optional[float] = None,
         min_containers: int = 0,
     ) -> ScalingDecision:
-        """Compute ``c_new`` for one function.
-
-        Parameters
-        ----------
-        arrival_rate:
-            Estimated (smoothed) arrival rate λ for the next epoch.
-        service_rate:
-            Service rate μ of a *standard* container.
-        slo_deadline:
-            The SLO deadline ``d`` in seconds.
-        current_containers:
-            Containers currently allocated (Algorithm 1 starts here).
-        existing_service_rates:
-            If given and heterogeneous (containers deflated to different
-            speeds), the Alves et al. sizing path is used and the answer
-            is the *total* container count needed assuming existing
-            containers stay as they are and additions are standard size.
-        service_time_percentile:
-            High-percentile service time; defaults to the exponential
-            percentile at ``self.percentile``.
-        min_containers:
-            A floor on the answer (e.g. keep-warm minimum).
-        """
-        if arrival_rate < 0:
-            raise ValueError("arrival rate must be non-negative")
-        if service_rate <= 0:
-            raise ValueError("service rate must be positive")
-        budget = self.wait_budget(slo_deadline, service_rate, service_time_percentile)
-
-        if arrival_rate <= 0:
-            desired = max(min_containers, 0)
-            return ScalingDecision(
-                function_name=function_name,
-                desired_containers=desired,
-                current_containers=current_containers,
-                arrival_rate=0.0,
-                service_rate=service_rate,
-                wait_budget=budget,
-                achieved_probability=1.0,
-            )
-
-        heterogeneous = (
-            existing_service_rates is not None
-            and len(existing_service_rates) > 0
-            and (max(existing_service_rates) - min(existing_service_rates) > 1e-9
-                 or any(abs(m - service_rate) > 1e-9 for m in existing_service_rates))
-        )
-        if heterogeneous:
-            result = required_containers_heterogeneous(
-                lam=arrival_rate,
-                existing_mus=list(existing_service_rates),
-                standard_mu=service_rate,
-                wait_budget=budget,
-                percentile=self.percentile,
-                max_additional=self.max_containers,
-            )
-        elif self.use_fast_sizing:
-            result = required_containers_fast(
-                lam=arrival_rate,
-                mu=service_rate,
-                wait_budget=budget,
-                percentile=self.percentile,
-                current_containers=0,
-                max_containers=self.max_containers,
-            )
-        else:
-            result = required_containers(
-                lam=arrival_rate,
-                mu=service_rate,
-                wait_budget=budget,
-                percentile=self.percentile,
-                current_containers=0,
-                max_containers=self.max_containers,
-            )
-
-        desired = max(result.containers + self.headroom_containers, min_containers)
-        return ScalingDecision(
+        """Compute ``c_new`` for one function (see :class:`ScalingQuery`)."""
+        query = ScalingQuery(
             function_name=function_name,
-            desired_containers=desired,
-            current_containers=current_containers,
             arrival_rate=arrival_rate,
             service_rate=service_rate,
+            slo_deadline=slo_deadline,
+            current_containers=current_containers,
+            existing_service_rates=existing_service_rates,
+            service_time_percentile=service_time_percentile,
+            min_containers=min_containers,
+        )
+        return self.decide_batch((query,))[0]
+
+    def decide_batch(self, queries: Sequence[ScalingQuery]) -> List[ScalingDecision]:
+        """Size every function of an epoch in one call.
+
+        Zero-rate and heterogeneous (deflated-fleet) queries resolve
+        individually; every homogeneous query is handed to the solver's
+        batched entry point, which folds all their warm-start probes
+        into a single vectorised kernel evaluation.  Decisions are
+        positionally aligned with ``queries``.
+        """
+        decisions: List[Optional[ScalingDecision]] = [None] * len(queries)
+        budgets: List[float] = [0.0] * len(queries)
+        solver_queries: List[SizingQuery] = []
+        solver_slots: List[int] = []
+
+        for i, q in enumerate(queries):
+            if q.arrival_rate < 0:
+                raise ValueError("arrival rate must be non-negative")
+            if q.service_rate <= 0:
+                raise ValueError("service rate must be positive")
+            budget = self.wait_budget(q.slo_deadline, q.service_rate,
+                                      q.service_time_percentile)
+            budgets[i] = budget
+
+            if q.arrival_rate <= 0:
+                desired = max(q.min_containers, 0)
+                decisions[i] = ScalingDecision(
+                    function_name=q.function_name,
+                    desired_containers=desired,
+                    current_containers=q.current_containers,
+                    arrival_rate=0.0,
+                    service_rate=q.service_rate,
+                    wait_budget=budget,
+                    achieved_probability=1.0,
+                )
+                continue
+
+            if self._is_heterogeneous(q):
+                if self.use_fast_sizing:
+                    result = self.solver.solve_heterogeneous(
+                        lam=q.arrival_rate,
+                        existing_mus=list(q.existing_service_rates or ()),
+                        standard_mu=q.service_rate,
+                        wait_budget=budget,
+                        percentile=self.percentile,
+                        max_additional=self.max_containers,
+                        key=(q.function_name, "heterogeneous"),
+                    )
+                else:
+                    result = required_containers_heterogeneous(
+                        lam=q.arrival_rate,
+                        existing_mus=list(q.existing_service_rates or ()),
+                        standard_mu=q.service_rate,
+                        wait_budget=budget,
+                        percentile=self.percentile,
+                        max_additional=self.max_containers,
+                    )
+                decisions[i] = self._decision(q, budget, result, heterogeneous=True)
+            elif self.use_fast_sizing:
+                solver_queries.append(SizingQuery(
+                    lam=float(q.arrival_rate),
+                    mu=float(q.service_rate),
+                    wait_budget=float(budget),
+                    percentile=self.percentile,
+                    current_containers=0,
+                    max_containers=self.max_containers,
+                    key=q.function_name,
+                ))
+                solver_slots.append(i)
+            else:
+                result = required_containers(
+                    lam=q.arrival_rate,
+                    mu=q.service_rate,
+                    wait_budget=budget,
+                    percentile=self.percentile,
+                    current_containers=0,
+                    max_containers=self.max_containers,
+                )
+                decisions[i] = self._decision(q, budget, result, heterogeneous=False)
+
+        if solver_queries:
+            results = self.solver.solve_batch(solver_queries)
+            for slot, result in zip(solver_slots, results):
+                decisions[slot] = self._decision(
+                    queries[slot], budgets[slot], result, heterogeneous=False
+                )
+        return decisions  # type: ignore[return-value]
+
+    @staticmethod
+    def _is_heterogeneous(query: ScalingQuery) -> bool:
+        """Whether the query's existing fleet requires the Alves et al. model."""
+        rates = query.existing_service_rates
+        return (
+            rates is not None
+            and len(rates) > 0
+            and (max(rates) - min(rates) > 1e-9
+                 or any(abs(m - query.service_rate) > 1e-9 for m in rates))
+        )
+
+    def _decision(self, query: ScalingQuery, budget: float, result: SizingResult,
+                  heterogeneous: bool) -> ScalingDecision:
+        """Wrap a sizing result in a :class:`ScalingDecision` (headroom + floor)."""
+        desired = max(result.containers + self.headroom_containers,
+                      query.min_containers)
+        return ScalingDecision(
+            function_name=query.function_name,
+            desired_containers=desired,
+            current_containers=query.current_containers,
+            arrival_rate=query.arrival_rate,
+            service_rate=query.service_rate,
             wait_budget=budget,
             achieved_probability=result.achieved_probability,
             used_heterogeneous_model=heterogeneous,
@@ -237,4 +328,4 @@ class Autoscaler:
         return int(math.floor(arrival_rate / service_rate)) + 1
 
 
-__all__ = ["Autoscaler", "ScalingDecision"]
+__all__ = ["Autoscaler", "ScalingDecision", "ScalingQuery"]

@@ -7,10 +7,12 @@ OpenWhisk controller (§5, Figure 2b).  It owns:
   estimation and dispatched straight to a container by weighted round
   robin;
 * the control path — once per epoch it estimates each function's
-  arrival rate, runs the queueing models to get the desired container
-  count ``c_new``, detects overload, applies weighted fair sharing, and
-  executes the resulting scaling / reclamation actions through the
-  per-node invokers.
+  arrival rate, sizes *all* registered functions in one batched call to
+  the memoized queueing-model solver
+  (:class:`repro.core.queueing.solver.SizingSolver` — warm-started per
+  function, bit-identical to the reference Algorithm 1), detects
+  overload, applies weighted fair sharing, and executes the resulting
+  scaling / reclamation actions through the per-node invokers.
 
 In the absence of resource pressure, over-provisioned functions are
 scaled down *lazily* (containers are only marked for termination and
@@ -29,7 +31,8 @@ from typing import Dict, List, Optional
 from repro.cluster.cluster import EdgeCluster, FunctionDeployment
 from repro.cluster.container import Container, ContainerState
 from repro.cluster.invoker import InvokerPool
-from repro.core.allocation.autoscaler import Autoscaler, ScalingDecision
+from repro.core.allocation.autoscaler import Autoscaler, ScalingDecision, ScalingQuery
+from repro.core.queueing.solver import SizingSolver
 from repro.core.allocation.hierarchy import SchedulingTree
 from repro.core.allocation.placement import PlacementRequest, plan_placements
 from repro.core.dispatch import SharedQueueDispatcher
@@ -85,6 +88,12 @@ class ControllerConfig:
     #: learn service times online from completed requests (otherwise only
     #: offline profiles / deployment defaults are used)
     online_learning: bool = True
+    #: memoize exact-key model solves in the sizing solver (never changes
+    #: results — the solver is a pure function of its inputs)
+    sizing_cache: bool = True
+    #: warm-start each function's sizing search from last epoch's answer
+    #: (provably exact; see repro.core.queueing.solver)
+    sizing_warm_start: bool = True
 
     def __post_init__(self) -> None:
         """Validate the configuration parameters."""
@@ -152,10 +161,15 @@ class LassController:
         self.dispatcher.attach_cluster(cluster)
         self.balancer = self.dispatcher.balancer
         self.invokers = InvokerPool(cluster)
+        self.solver = SizingSolver(
+            cache_size=65_536 if self.config.sizing_cache else 0,
+            warm_start=self.config.sizing_warm_start,
+        )
         self.autoscaler = Autoscaler(
             percentile=self.config.percentile,
             use_fast_sizing=self.config.use_fast_sizing,
             subtract_service_percentile=self.config.subtract_service_percentile,
+            solver=self.solver,
         )
         self._tree = scheduling_tree
         self._functions: Dict[str, _FunctionState] = {}
@@ -321,10 +335,16 @@ class LassController:
         self._epoch_count += 1
         now = self.engine.now
 
+        # estimation first (stateful: EWMA updates, burst counters), then all
+        # model solves in one epoch-batched call to the sizing solver
+        names = list(self._functions)
+        queries = [self._scaling_query(name, self._functions[name], now) for name in names]
+        batch = self.autoscaler.decide_batch(queries)
+
         decisions: Dict[str, ScalingDecision] = {}
         demands_cpu: Dict[str, float] = {}
-        for name, state in self._functions.items():
-            decision = self._decide(name, state, now)
+        for name, decision in zip(names, batch):
+            state = self._functions[name]
             decisions[name] = decision
             state.last_decision = decision
             demands_cpu[name] = decision.desired_containers * state.deployment.cpu
@@ -354,8 +374,13 @@ class LassController:
                 self.dispatcher.drain(name)
 
     # -- model-driven decision per function ----------------------------
-    def _decide(self, name: str, state: _FunctionState, now: float) -> ScalingDecision:
-        """Rate estimation + queueing model for one function's scaling decision."""
+    def _scaling_query(self, name: str, state: _FunctionState, now: float) -> ScalingQuery:
+        """Rate estimation (stateful) + model inputs for one function.
+
+        The returned query carries everything the autoscaler needs; the
+        actual queueing-model solves happen in one batched call per
+        epoch (:meth:`Autoscaler.decide_batch`).
+        """
         observation = state.rate_estimator.estimate(now)
         if observation.burst_detected:
             self.metrics.increment("burst_switches")
@@ -370,7 +395,7 @@ class LassController:
         if self.config.subtract_service_percentile:
             service_percentile = self._service_time_percentile(state)
 
-        return self.autoscaler.desired_containers(
+        return ScalingQuery(
             function_name=name,
             arrival_rate=smoothed,
             service_rate=service_rate,
@@ -380,6 +405,10 @@ class LassController:
             service_time_percentile=service_percentile,
             min_containers=state.deployment.min_containers,
         )
+
+    def _decide(self, name: str, state: _FunctionState, now: float) -> ScalingDecision:
+        """One function's scaling decision (batch-of-one convenience)."""
+        return self.autoscaler.decide_batch((self._scaling_query(name, state, now),))[0]
 
     def _service_rate(self, state: _FunctionState, cpu_fraction: float) -> float:
         """Best current estimate of the per-container service rate at a CPU fraction."""

@@ -10,6 +10,11 @@
   for the smallest number of containers such that a high percentile of
   the waiting time stays below ``t = d − s_p``, plus a vectorised fast
   path used for the scalability experiment (Figure 5).
+* :mod:`repro.core.queueing.solver` — the control-plane fast path: a
+  candidate-vectorised wait-probability kernel over a process-wide
+  log-factorial table, an exact-key LRU memo, per-function warm starts,
+  and an epoch-batched sizing entry point (results bit-identical to the
+  Algorithm 1 oracles in :mod:`~repro.core.queueing.sizing`).
 * :mod:`repro.core.queueing.distributions` — service-time distributions
   used by the simulator and by the profile-driven estimators.
 """
@@ -17,8 +22,15 @@
 from repro.core.queueing.mmc import MMcQueue, erlang_c, mmc_state_probabilities
 from repro.core.queueing.heterogeneous import HeterogeneousMMcQueue
 from repro.core.queueing.mgc import MGcQueue, required_containers_mgc
-from repro.core.queueing.sizing import (
+from repro.core.queueing.solver import (
+    SizingQuery,
     SizingResult,
+    SizingSolver,
+    caches_disabled,
+    default_solver,
+    wait_probabilities,
+)
+from repro.core.queueing.sizing import (
     required_containers,
     required_containers_fast,
     required_containers_naive,
@@ -39,7 +51,12 @@ __all__ = [
     "HeterogeneousMMcQueue",
     "MGcQueue",
     "required_containers_mgc",
+    "SizingQuery",
     "SizingResult",
+    "SizingSolver",
+    "caches_disabled",
+    "default_solver",
+    "wait_probabilities",
     "required_containers",
     "required_containers_fast",
     "required_containers_naive",

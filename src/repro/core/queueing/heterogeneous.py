@@ -96,11 +96,16 @@ class HeterogeneousMMcQueue:
             return out
         cumulative = self._cumulative_rates()
         log_lam = math.log(self.lam)
-        log_weights = np.zeros(n_max + 1)
         log_s = np.log(cumulative)
-        for n in range(1, n_max + 1):
-            s_index = min(n, self.c) - 1
-            log_weights[n] = log_weights[n - 1] + log_lam - log_s[s_index]
+        # one cumulative sum over the per-state increments log λ − log S_k
+        # replaces the former Python loop over n (the control-plane solver
+        # evaluates this bound on every heterogeneous sizing probe)
+        log_weights = np.empty(n_max + 1)
+        log_weights[0] = 0.0
+        if n_max > 0:
+            n = np.arange(1, n_max + 1)
+            increments = log_lam - log_s[np.minimum(n, self.c) - 1]
+            np.cumsum(increments, out=log_weights[1:])
         return log_weights
 
     def log_p0(self) -> float:

@@ -250,18 +250,18 @@ def mmc_wait_probability_vector(
 ) -> np.ndarray:
     """Vectorised ``P(Q <= t)`` for many (λ, c) pairs sharing the same μ.
 
-    This is the hot path of the scalability experiment (Figure 5), so it
-    avoids Python-level loops where possible.
+    This is the hot path of the scalability experiment (Figure 5); it
+    delegates to the solver's candidate-vectorised kernel, which
+    evaluates every pair in one triangular numpy pass (the import is
+    local only to keep this module free of a load-time cycle).
     """
+    from repro.core.queueing.solver import wait_probabilities
+
     lams_arr = np.asarray(lams, dtype=float)
     cs_arr = np.asarray(cs, dtype=int)
     if lams_arr.shape != cs_arr.shape:
         raise ValueError("lams and cs must have the same shape")
-    out = np.empty(lams_arr.shape, dtype=float)
-    for i, (lam, c) in enumerate(zip(lams_arr.ravel(), cs_arr.ravel())):
-        queue = MMcQueue(float(lam), mu, int(c))
-        out.ravel()[i] = queue.wait_bound_probability(t) if queue.is_stable else 0.0
-    return out
+    return wait_probabilities(lams_arr, mu, cs_arr, t)
 
 
 __all__ = [

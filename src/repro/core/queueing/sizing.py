@@ -13,50 +13,31 @@ Three variants are provided:
 
 * :func:`required_containers` — the faithful reference implementation of
   Algorithm 1 (homogeneous containers).
-* :func:`required_containers_fast` — a vectorised fast path that
-  evaluates the waiting-time bound with cumulative numpy sums instead of
-  re-computing the state probabilities from scratch at every candidate
-  ``c``.  This plays the role of the paper's Julia implementation in the
+* :func:`required_containers_fast` — a vectorised fast path built on the
+  :mod:`repro.core.queueing.solver` kernel: candidates are evaluated in
+  batched numpy passes and bracketed exponentially instead of one at a
+  time.  This plays the role of the paper's Julia implementation in the
   Figure 5 scalability experiment.
 * :func:`required_containers_heterogeneous` — sizing when the existing
   containers have been deflated to different service rates: it answers
   "how many *additional standard* containers must be added so that the
   heterogeneous bound meets the SLO" (used in §6.2.2 / Figure 4).
+
+The memoized / warm-started control-plane entry points live in
+:class:`repro.core.queueing.solver.SizingSolver`; the functions here are
+the stateless oracles it is tested against
+(:func:`required_containers_naive` deliberately stays the slow pure-
+Python "Scala path" and must never be optimised).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Optional, Sequence
-
-import numpy as np
-from scipy import special
 
 from repro.core.queueing.heterogeneous import HeterogeneousMMcQueue
 from repro.core.queueing.mmc import MMcQueue
-
-
-@dataclass(frozen=True)
-class SizingResult:
-    """Outcome of a sizing computation.
-
-    Attributes
-    ----------
-    containers:
-        The recommended number of containers ``c``.
-    achieved_probability:
-        The waiting-time bound ``P(Q <= t)`` at the recommendation.
-    wait_budget:
-        The waiting-time budget ``t`` that was targeted.
-    iterations:
-        How many candidate values of ``c`` were evaluated.
-    """
-
-    containers: int
-    achieved_probability: float
-    wait_budget: float
-    iterations: int
+from repro.core.queueing.solver import SizingResult, smallest_satisfying
 
 
 def wait_budget_from_slo(
@@ -222,41 +203,6 @@ def required_containers_naive(
     raise ValueError("could not satisfy SLO within max_containers")
 
 
-def _wait_probability_vectorised(lam: float, mu: float, cs: np.ndarray, t: float) -> np.ndarray:
-    """``P(Q <= t)`` for an array of candidate ``c`` values, vectorised per candidate.
-
-    For each candidate ``c`` the bound is ``Σ_{n=0}^{L(c)} P_n`` with
-    ``L(c) = ⌊t c μ + c − 1⌋``.  The state probabilities are evaluated in
-    log space with cumulative sums, so the cost per candidate is
-    ``O(L)`` numpy work with no Python-level inner loop.
-    """
-    r = lam / mu
-    log_r = math.log(r) if r > 0 else -np.inf
-    out = np.zeros(cs.shape, dtype=float)
-    for idx, c in enumerate(cs):
-        c = int(c)
-        rho = r / c
-        if rho >= 1.0:
-            out[idx] = 0.0
-            continue
-        L = int(math.floor(t * c * mu + c - 1 + 1e-12))
-        if L < 0:
-            out[idx] = 0.0
-            continue
-        n = np.arange(L + 1)
-        log_terms = n * log_r - special.gammaln(np.minimum(n, c) + 1)
-        over = n > c
-        if over.any():
-            log_terms[over] -= (n[over] - c) * math.log(c)
-        # normalising constant: head (n < c) + tail in closed form
-        n_head = np.arange(c)
-        log_head = n_head * log_r - special.gammaln(n_head + 1)
-        log_tail = c * log_r - special.gammaln(c + 1) - math.log(1.0 - rho)
-        log_norm = special.logsumexp(np.append(log_head, log_tail))
-        out[idx] = min(1.0, float(np.exp(special.logsumexp(log_terms) - log_norm)))
-    return out
-
-
 def required_containers_fast(
     lam: float,
     mu: float,
@@ -267,10 +213,12 @@ def required_containers_fast(
 ) -> SizingResult:
     """Vectorised Algorithm 1 (the "Julia implementation" fast path of Figure 5).
 
-    Rather than incrementing ``c`` one at a time, candidates are evaluated
-    in geometrically growing batches and the smallest satisfying ``c`` is
-    located with a binary search inside the first satisfying batch.  The
-    result is identical to :func:`required_containers`.
+    A stateless wrapper over the solver's candidate-vectorised search:
+    geometrically growing rung groups bracket the answer in a few numpy
+    passes, then the bracket is swept in one batched kernel call.  The
+    result is identical to :func:`required_containers`.  (The previous
+    per-candidate Python loop — "vectorised" in name only — was deleted
+    in favour of :func:`repro.core.queueing.solver.wait_probabilities`.)
     """
     if lam < 0:
         raise ValueError("arrival rate must be non-negative")
@@ -285,33 +233,10 @@ def required_containers_fast(
 
     min_stable = int(math.floor(lam / mu)) + 1
     lo = max(1, int(current_containers), min_stable)
-    iterations = 0
-
-    # exponential search for an upper bracket
-    hi = lo
-    batch = 1
-    while hi <= max_containers:
-        iterations += 1
-        prob = _wait_probability_vectorised(lam, mu, np.array([hi]), wait_budget)[0]
-        if prob >= percentile:
-            break
-        batch *= 2
-        hi += batch
-    else:
-        raise ValueError("could not satisfy SLO within max_containers")
-    hi = min(hi, max_containers)
-
-    # binary search in [lo, hi]
-    while lo < hi:
-        mid = (lo + hi) // 2
-        iterations += 1
-        prob = _wait_probability_vectorised(lam, mu, np.array([mid]), wait_budget)[0]
-        if prob >= percentile:
-            hi = mid
-        else:
-            lo = mid + 1
-    final_prob = _wait_probability_vectorised(lam, mu, np.array([lo]), wait_budget)[0]
-    return SizingResult(containers=int(lo), achieved_probability=float(final_prob),
+    containers, probability, iterations = smallest_satisfying(
+        lam, mu, wait_budget, percentile, lo, max_containers
+    )
+    return SizingResult(containers=containers, achieved_probability=probability,
                         wait_budget=wait_budget, iterations=iterations)
 
 

@@ -338,6 +338,8 @@ class ControllerSpec:
     use_fast_sizing: bool = True
     subtract_service_percentile: bool = False
     online_learning: bool = True
+    sizing_cache: bool = True
+    sizing_warm_start: bool = True
 
     def __post_init__(self) -> None:
         """Validate the reclamation policy name."""

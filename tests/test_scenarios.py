@@ -8,7 +8,9 @@ Covers the three contracts the subsystem promises:
    fig3…fig9) are registered, and the experiment renderers cover
    exactly the registered names (no hard-coded list drift).
 3. **Sweep determinism** — expanding and running a sweep with
-   ``workers=1`` and ``workers=4`` yields byte-identical results JSON.
+   ``workers=1`` and ``workers=4`` yields byte-identical results JSON,
+   and so does running with the control-plane solver's caches disabled
+   (memoization and warm starts change the work, never the answers).
 """
 
 import json
@@ -250,3 +252,42 @@ class TestSweepDeterminism:
         rates = [r["scenario"]["workloads"][0]["schedule"]["params"]["rate"]
                  for r in results]
         assert rates == [10.0, 20.0, 30.0, 40.0]
+
+
+class TestSolverCacheDeterminism:
+    """Solver memo / warm-start on vs off must not change a single byte."""
+
+    def _controller_sweep(self):
+        """A small controller-driven sweep (the solver sits on its epoch path)."""
+        base = build("quickstart", duration=30.0)
+        return SweepSpec(
+            name="solver-cache-guard",
+            base=base,
+            axes=(SweepAxis("workloads.0.schedule.params.rate", (10.0, 25.0)),),
+        )
+
+    def test_results_json_identical_with_and_without_caches(self):
+        from repro.core.queueing.solver import caches_disabled
+
+        sweep = self._controller_sweep()
+        cached = SweepRunner(sweep, workers=1).run_json()
+        with caches_disabled():
+            cold = SweepRunner(sweep, workers=1).run_json()
+        assert cached == cold
+
+    def test_scenario_json_identical_with_config_flags_off(self):
+        from repro.scenarios import ControllerSpec
+
+        spec = build("quickstart", duration=30.0)
+        flags_off = apply_overrides(spec, {
+            "controller.sizing_cache": False,
+            "controller.sizing_warm_start": False,
+        })
+        # the spec echo differs (it records the flags), but every result
+        # payload must be identical
+        on = run_scenario(spec).data
+        off = run_scenario(flags_off).data
+        assert ControllerSpec.from_dict(off["scenario"]["controller"]).sizing_cache is False
+        on.pop("scenario")
+        off.pop("scenario")
+        assert canonical_json(on) == canonical_json(off)

@@ -1,0 +1,387 @@
+"""Tests for the memoized, batched control-plane solver.
+
+Three contracts are covered:
+
+1. **Kernel regression** — :func:`wait_probabilities` (the genuinely
+   candidate-vectorised kernel that replaced the per-candidate Python
+   loop formerly masquerading as ``_wait_probability_vectorised``)
+   matches the scalar :class:`~repro.core.queueing.mmc.MMcQueue` bound
+   across a (λ, μ, c, t) grid, including unstable and zero-load edges.
+2. **Oracle equivalence** — across ~200 parameter combinations and all
+   four cache/warm-start configurations, :class:`SizingSolver` returns
+   the same container counts as the reference ``required_containers``
+   and the naive ``required_containers_naive`` (including ``λ = 0`` and
+   near-instability ``ρ → 1`` edges).
+3. **Shortcut mechanics** — warm starts stay exact under drifts and
+   jumps, the LRU memo actually hits/evicts, batching aligns results
+   positionally, and :func:`caches_disabled` forces cold solves.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.queueing.heterogeneous import HeterogeneousMMcQueue
+from repro.core.queueing.mmc import MMcQueue
+from repro.core.queueing.sizing import (
+    SizingResult,
+    required_containers,
+    required_containers_fast,
+    required_containers_heterogeneous,
+    required_containers_naive,
+)
+from repro.core.queueing.solver import (
+    SizingQuery,
+    SizingSolver,
+    caches_disabled,
+    log_factorials,
+    wait_probabilities,
+)
+
+#: the oracle-equivalence grid: 9 λ × 2 μ × 4 t × 3 p = 216 combinations.
+#: 49.95 and 99.9 sit a hair under instability for small c at μ = 10
+#: (ρ = 0.999 at the stability minimum); 0.0 exercises the zero-load
+#: shortcut; 149.5 forces triple-digit container counts.
+GRID_LAMS = (0.0, 0.5, 3.0, 9.9, 17.0, 49.95, 88.0, 99.9, 149.5)
+GRID_MUS = (1.0, 10.0)
+GRID_BUDGETS = (0.0, 0.02, 0.1, 0.5)
+GRID_PERCENTILES = (0.5, 0.95, 0.99)
+
+
+def grid():
+    """Yield every (λ, μ, t, p) combination of the equivalence grid."""
+    for lam in GRID_LAMS:
+        for mu in GRID_MUS:
+            for budget in GRID_BUDGETS:
+                for percentile in GRID_PERCENTILES:
+                    yield lam, mu, budget, percentile
+
+
+class TestKernel:
+    def test_matches_scalar_mmc_over_grid(self):
+        for lam in (0.0, 2.0, 19.7, 49.95, 60.0, 149.5):
+            for mu in (3.0, 10.0):
+                for t in (0.0, 0.03, 0.1, 0.7):
+                    cs = np.array([1, 2, 5, 17, 64, 200])
+                    got = wait_probabilities(lam, mu, cs, t)
+                    for c, value in zip(cs, got):
+                        queue = MMcQueue(lam, mu, int(c))
+                        expected = (
+                            queue.wait_bound_probability(t) if queue.is_stable else 0.0
+                        )
+                        assert value == pytest.approx(expected, rel=1e-10, abs=1e-12), (
+                            lam, mu, int(c), t,
+                        )
+
+    def test_broadcasts_per_row_parameters(self):
+        lams = np.array([10.0, 20.0, 0.0, 500.0])
+        mus = np.array([10.0, 5.0, 3.0, 10.0])
+        cs = np.array([3, 9, 2, 60])
+        ts = np.array([0.1, 0.05, 0.2, 0.02])
+        got = wait_probabilities(lams, mus, cs, ts)
+        for lam, mu, c, t, value in zip(lams, mus, cs, ts, got):
+            queue = MMcQueue(float(lam), float(mu), int(c))
+            expected = queue.wait_bound_probability(t) if queue.is_stable else 0.0
+            assert value == pytest.approx(expected, rel=1e-10, abs=1e-12)
+
+    def test_edge_rows(self):
+        # unstable → 0, zero load → 1, negative budget → 0
+        got = wait_probabilities(
+            np.array([100.0, 0.0, 10.0]), 10.0, np.array([5, 4, 4]),
+            np.array([0.1, 0.1, -0.5]),
+        )
+        assert list(got) == [0.0, 1.0, 0.0]
+
+    def test_scalar_inputs_give_zero_d_result_shape(self):
+        got = wait_probabilities(20.0, 10.0, 4, 0.1)
+        assert got.shape == ()
+        assert float(got) == pytest.approx(
+            MMcQueue(20.0, 10.0, 4).wait_bound_probability(0.1), rel=1e-10
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wait_probabilities(1.0, 10.0, np.array([0]), 0.1)
+        with pytest.raises(ValueError):
+            wait_probabilities(-1.0, 10.0, np.array([1]), 0.1)
+        with pytest.raises(ValueError):
+            wait_probabilities(1.0, 0.0, np.array([1]), 0.1)
+
+    def test_log_factorial_table_grows_and_is_exact(self):
+        from scipy import special
+
+        table = log_factorials(5000)
+        assert table.shape[0] >= 5001
+        np.testing.assert_array_equal(
+            table[:5001], special.gammaln(np.arange(5001, dtype=float) + 1.0)
+        )
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("cache_size,warm_start", [
+        (65_536, True), (65_536, False), (0, True), (0, False),
+    ])
+    def test_grid_matches_reference_and_naive(self, cache_size, warm_start):
+        solver = SizingSolver(cache_size=cache_size, warm_start=warm_start)
+        combos = 0
+        for lam, mu, budget, percentile in grid():
+            reference = required_containers(lam, mu, budget, percentile)
+            naive = required_containers_naive(lam, mu, budget, percentile)
+            # shared warm key across the grid walk: successive solves for
+            # the same key exercise anchors far from the next optimum
+            got = solver.solve(lam, mu, budget, percentile, key="grid")
+            again = solver.solve(lam, mu, budget, percentile, key="grid")
+            assert got.containers == reference.containers == naive.containers, (
+                lam, mu, budget, percentile,
+            )
+            assert again.containers == got.containers
+            combos += 1
+        assert combos == 216
+
+    def test_zero_load(self):
+        result = SizingSolver().solve(0.0, 10.0, 0.1)
+        assert result == SizingResult(0, 1.0, 0.1, 0)
+
+    def test_near_instability_edge(self):
+        # ρ = 0.999 at the stability minimum: the search has to climb
+        # well past ⌈λ/μ⌉ for tight budgets
+        solver = SizingSolver()
+        for percentile in (0.95, 0.99):
+            reference = required_containers(99.9, 10.0, 0.0, percentile)
+            got = solver.solve(99.9, 10.0, 0.0, percentile)
+            assert got.containers == reference.containers
+            assert got.achieved_probability >= percentile
+
+    def test_current_containers_lower_bound(self):
+        solver = SizingSolver()
+        for current in (0, 1, 7, 40, 200):
+            reference = required_containers(30.0, 10.0, 0.1, 0.95,
+                                            current_containers=current)
+            got = solver.solve(30.0, 10.0, 0.1, 0.95, current_containers=current)
+            assert got.containers == reference.containers
+            assert got.achieved_probability == pytest.approx(
+                reference.achieved_probability, rel=1e-9
+            )
+
+    def test_max_containers_raises_like_reference(self):
+        with pytest.raises(ValueError):
+            required_containers(50.0, 10.0, 0.0, 0.99, max_containers=6)
+        with pytest.raises(ValueError):
+            SizingSolver().solve(50.0, 10.0, 0.0, 0.99, max_containers=6)
+
+    def test_validation_mirrors_reference(self):
+        solver = SizingSolver()
+        with pytest.raises(ValueError):
+            solver.solve(-1.0, 10.0, 0.1)
+        with pytest.raises(ValueError):
+            solver.solve(1.0, -1.0, 0.1)
+        with pytest.raises(ValueError):
+            solver.solve(1.0, 1.0, -0.1)
+        with pytest.raises(ValueError):
+            solver.solve(1.0, 1.0, 0.1, percentile=1.5)
+
+    def test_fast_path_still_matches_reference(self):
+        # regression for the satellite: required_containers_fast now runs
+        # on the solver kernel and must stay exact
+        for lam in (5.0, 17.0, 60.0, 140.0, 999.0):
+            for budget in (0.05, 0.1, 0.3):
+                reference = required_containers(lam, 10.0, budget, 0.95).containers
+                fast = required_containers_fast(lam, 10.0, budget, 0.95).containers
+                assert fast == reference
+
+
+class TestWarmStart:
+    def test_drifting_sequence_matches_reference(self):
+        solver = SizingSolver()
+        lam = 200.0
+        for epoch in range(120):
+            lam = max(1.0, lam * (1.0 + 0.15 * math.sin(float(epoch))))
+            if epoch == 47:
+                lam = 3000.0     # upward jump far beyond the warm window
+            if epoch == 80:
+                lam = 12.0       # collapse far below it
+            reference = required_containers(lam, 10.0, 0.1, 0.95).containers
+            got = solver.solve(lam, 10.0, 0.1, 0.95, key="fn").containers
+            assert got == reference, (epoch, lam)
+        assert solver.stats.warm_hits > 0
+        assert solver.stats.full_searches >= 1
+
+    def test_warm_hit_costs_three_probes(self):
+        solver = SizingSolver(cache_size=0)  # no memo: isolate the warm path
+        first = solver.solve(200.0, 10.0, 0.1, 0.95, key="fn")
+        steady = solver.solve(200.0, 10.0, 0.1, 0.95, key="fn")
+        assert steady.containers == first.containers
+        assert steady.iterations == 3
+
+    def test_keys_are_isolated(self):
+        solver = SizingSolver(cache_size=0)
+        solver.solve(500.0, 10.0, 0.1, 0.95, key="big")
+        small = solver.solve(5.0, 10.0, 0.1, 0.95, key="small")
+        assert small.containers == required_containers(5.0, 10.0, 0.1, 0.95).containers
+
+    def test_disabled_warm_start_never_records_anchors(self):
+        solver = SizingSolver(warm_start=False)
+        solver.solve(200.0, 10.0, 0.1, 0.95, key="fn")
+        assert solver._warm == {}
+        assert solver.stats.warm_hits == 0
+
+
+class TestMemo:
+    def test_exact_key_hit_skips_all_evaluation(self):
+        solver = SizingSolver()
+        cold = solver.solve(88.0, 10.0, 0.1, 0.95)
+        hit = solver.solve(88.0, 10.0, 0.1, 0.95)
+        assert hit.containers == cold.containers
+        assert hit.iterations == 0
+        assert solver.stats.cache_hits == 1
+
+    def test_nearby_keys_do_not_collide(self):
+        solver = SizingSolver()
+        a = solver.solve(88.0, 10.0, 0.1, 0.95)
+        b = solver.solve(88.00000001, 10.0, 0.1, 0.95)
+        assert solver.stats.cache_hits == 0
+        assert abs(a.containers - b.containers) <= 1
+
+    def test_lru_evicts_oldest(self):
+        solver = SizingSolver(cache_size=2, warm_start=False)
+        solver.solve(10.0, 10.0, 0.1, 0.95)
+        solver.solve(20.0, 10.0, 0.1, 0.95)
+        solver.solve(30.0, 10.0, 0.1, 0.95)   # evicts the 10.0 entry
+        assert len(solver._solutions) == 2
+        solver.solve(10.0, 10.0, 0.1, 0.95)
+        assert solver.stats.cache_hits == 0
+
+    def test_clear_resets_state(self):
+        solver = SizingSolver()
+        solver.solve(88.0, 10.0, 0.1, 0.95, key="fn")
+        solver.clear()
+        assert len(solver._solutions) == 0
+        assert solver._warm == {}
+
+    def test_caches_disabled_context_forces_cold_solves(self):
+        solver = SizingSolver()
+        solver.solve(88.0, 10.0, 0.1, 0.95, key="fn")
+        with caches_disabled():
+            result = solver.solve(88.0, 10.0, 0.1, 0.95, key="fn")
+            assert result.iterations > 0          # not a cache hit
+            assert solver.stats.cache_hits == 0
+        hit = solver.solve(88.0, 10.0, 0.1, 0.95, key="fn")
+        assert hit.iterations == 0                # re-enabled afterwards
+
+    def test_cache_hit_respects_max_containers(self):
+        solver = SizingSolver()
+        cold = solver.solve(50.0, 10.0, 0.0, 0.99)
+        assert cold.containers > 8
+        with pytest.raises(ValueError):
+            solver.solve(50.0, 10.0, 0.0, 0.99, max_containers=8)
+
+
+class TestBatch:
+    def test_results_align_positionally(self):
+        queries = [
+            SizingQuery(lam=lam, mu=10.0, wait_budget=0.1, key=i)
+            for i, lam in enumerate((90.0, 0.0, 5.0, 320.0, 17.0))
+        ]
+        results = SizingSolver().solve_batch(queries)
+        for query, result in zip(queries, results):
+            expected = required_containers(query.lam, 10.0, 0.1).containers
+            assert result.containers == expected
+
+    def test_epoch_sequence_mixes_hits_warm_and_cold(self):
+        solver = SizingSolver()
+        rates = [60.0 + 17.0 * i for i in range(12)]
+        for epoch in range(6):
+            drifted = [round(r * (1.0 + 0.02 * epoch), 2) for r in rates]
+            queries = [
+                SizingQuery(lam=lam, mu=10.0, wait_budget=0.1, key=i)
+                for i, lam in enumerate(drifted)
+            ]
+            results = solver.solve_batch(queries)
+            for lam, result in zip(drifted, results):
+                assert result.containers == required_containers(lam, 10.0, 0.1).containers
+        assert solver.stats.warm_hits > 0
+        assert solver.stats.batches == 6
+
+    def test_duplicate_queries_share_one_solve(self):
+        solver = SizingSolver()
+        queries = [SizingQuery(lam=88.0, mu=10.0, wait_budget=0.1)] * 5
+        results = solver.solve_batch(queries)
+        assert len({r.containers for r in results}) == 1
+        assert solver.stats.cache_hits == 4
+
+    def test_duplicates_survive_within_batch_eviction(self):
+        # cache_size=1: the second leader evicts the first leader's entry
+        # before its follower resolves — the follower must recompute, not
+        # crash, and stay exact
+        solver = SizingSolver(cache_size=1)
+        q1 = SizingQuery(lam=88.0, mu=10.0, wait_budget=0.1)
+        q2 = SizingQuery(lam=40.0, mu=10.0, wait_budget=0.1)
+        results = solver.solve_batch([q1, q2, q1])
+        assert results[0].containers == results[2].containers
+        assert results[0].containers == required_containers(88.0, 10.0, 0.1).containers
+        assert results[1].containers == required_containers(40.0, 10.0, 0.1).containers
+
+
+class TestHeterogeneous:
+    def test_matches_reference_over_grid(self):
+        solver = SizingSolver()
+        for lam in (10.0, 50.0, 60.0):
+            for deflation in (0.9, 0.7, 0.5):
+                base = required_containers(lam, 10.0, 0.1, 0.95).containers
+                existing = [10.0 * deflation] * max(base, 1)
+                reference = required_containers_heterogeneous(
+                    lam, existing, 10.0, 0.1
+                )
+                got = solver.solve_heterogeneous(lam, existing, 10.0, 0.1, key="fn")
+                again = solver.solve_heterogeneous(lam, existing, 10.0, 0.1, key="fn")
+                assert got.containers == reference.containers
+                assert again.containers == reference.containers
+                assert got.achieved_probability == pytest.approx(
+                    reference.achieved_probability, rel=1e-9
+                )
+        assert solver.stats.cache_hits > 0
+
+    def test_zero_load_keeps_existing(self):
+        result = SizingSolver().solve_heterogeneous(0.0, [7.0, 10.0], 10.0, 0.1)
+        assert result.containers == 2
+        assert result.achieved_probability == 1.0
+
+    def test_warm_drift_stays_exact(self):
+        solver = SizingSolver(cache_size=0)
+        for lam in (40.0, 44.0, 48.0, 80.0, 30.0):
+            existing = [7.0] * 5
+            reference = required_containers_heterogeneous(lam, existing, 10.0, 0.1)
+            got = solver.solve_heterogeneous(lam, existing, 10.0, 0.1, key="fn")
+            assert got.containers == reference.containers
+
+    def test_cache_hit_respects_max_additional(self):
+        solver = SizingSolver()
+        generous = solver.solve_heterogeneous(50.0, [1.0], 1.0, 0.1,
+                                              max_additional=1000)
+        assert generous.containers > 6
+        with pytest.raises(ValueError):
+            required_containers_heterogeneous(50.0, [1.0], 1.0, 0.1,
+                                              max_additional=5)
+        with pytest.raises(ValueError):
+            solver.solve_heterogeneous(50.0, [1.0], 1.0, 0.1, max_additional=5)
+
+    def test_validation(self):
+        solver = SizingSolver()
+        with pytest.raises(ValueError):
+            solver.solve_heterogeneous(1.0, [1.0], 0.0, 0.1)
+        with pytest.raises(ValueError):
+            solver.solve_heterogeneous(1.0, [-1.0], 1.0, 0.1)
+        with pytest.raises(ValueError):
+            solver.solve_heterogeneous(-1.0, [1.0], 1.0, 0.1)
+
+    def test_vectorised_chain_weights_match_direct_recurrence(self):
+        # the cumsum vectorisation of HeterogeneousMMcQueue.log_unnormalised
+        queue = HeterogeneousMMcQueue(15.0, [10.0, 7.0, 5.0])
+        log_weights = queue.log_unnormalised(50)
+        log_lam = math.log(15.0)
+        log_s = np.log(np.cumsum([5.0, 7.0, 10.0]))
+        expected = 0.0
+        for n in range(1, 51):
+            expected = expected + log_lam - log_s[min(n, 3) - 1]
+            assert log_weights[n] == pytest.approx(expected, rel=1e-12)
