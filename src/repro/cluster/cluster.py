@@ -14,7 +14,7 @@ is immediate.  All timing flows through the shared
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cluster.container import Container, ContainerState
 from repro.cluster.node import InsufficientCapacityError, Node
@@ -119,6 +119,12 @@ class EdgeCluster:
         self._by_function: Dict[str, Dict[str, Container]] = {}
         self._on_container_warm: List[Callable[[Container], None]] = []
         self._on_container_state: List[Callable[[Container], None]] = []
+        #: Optional override for the constant cold-start latency: a
+        #: zero-argument callable returning the latency of the *next*
+        #: container creation.  Installed by the fault injector to model
+        #: cold-start latency distributions; ``None`` keeps the
+        #: configured constant (and the healthy event stream byte-exact).
+        self.cold_start_sampler: Optional[Callable[[], float]] = None
 
     # ------------------------------------------------------------------
     # Deployments
@@ -157,13 +163,30 @@ class EdgeCluster:
     # ------------------------------------------------------------------
     @property
     def total_cpu(self) -> float:
-        """Aggregate CPU capacity in vCPUs."""
+        """Aggregate CPU capacity in vCPUs, excluding failed nodes.
+
+        Failed nodes hold no containers and accept no placements, so
+        counting their capacity would make the controller plan against
+        hardware that does not exist: overload detection, fair-share
+        targets and ``capacity_in_containers`` all shrink with the
+        fleet.  (Baseline-``unresponsive`` nodes still count — that flag
+        models a node that is *overcommitted*, not absent.)
+        """
+        return sum(n.cpu_capacity for n in self.nodes if not n.failed)
+
+    @property
+    def configured_cpu(self) -> float:
+        """Aggregate CPU capacity as configured, including failed nodes.
+
+        The denominator of the availability metric: what the cluster
+        *should* have.
+        """
         return sum(n.cpu_capacity for n in self.nodes)
 
     @property
     def total_memory_mb(self) -> float:
-        """Aggregate memory capacity in MB."""
-        return sum(n.memory_capacity_mb for n in self.nodes)
+        """Aggregate memory capacity in MB, excluding failed nodes."""
+        return sum(n.memory_capacity_mb for n in self.nodes if not n.failed)
 
     @property
     def cpu_allocated(self) -> float:
@@ -281,6 +304,10 @@ class EdgeCluster:
                     f"no node can host a container of {function_name!r} "
                     f"({cpu} vCPU, {dep.memory_mb} MB)"
                 )
+        elif node.failed:
+            raise InsufficientCapacityError(
+                f"node {node.name} is failed; cannot host a container of {function_name!r}"
+            )
         container = Container(
             function_name=function_name,
             node_name=node.name,
@@ -295,7 +322,9 @@ class EdgeCluster:
         self._containers[container.container_id] = container
         self._by_function.setdefault(function_name, {})[container.container_id] = container
         container.state_observer = self._container_state_changed
-        self.engine.call_later(self.config.cold_start_latency, self._finish_cold_start, container)
+        sampler = self.cold_start_sampler
+        latency = self.config.cold_start_latency if sampler is None else max(0.0, sampler())
+        self.engine.call_later(latency, self._finish_cold_start, container)
         return container
 
     def _finish_cold_start(self, container: Container) -> None:
@@ -316,6 +345,63 @@ class EdgeCluster:
         if node is not None:
             node.remove_container(container_id)
         return dropped
+
+    def evict_container(self, container_id: str) -> Tuple[List, List]:
+        """Crash-terminate a container, salvaging its queued requests.
+
+        Unlike :meth:`terminate_container` (an orderly controller action
+        that drops everything), eviction models a *failure*: the running
+        request is lost, but queued requests are returned still
+        ``QUEUED`` so the caller can requeue them onto surviving
+        containers (see :meth:`repro.cluster.container.Container.evict`).
+
+        Returns ``(interrupted, salvaged)``.
+        """
+        container = self._containers.get(container_id)
+        if container is None or container.state == ContainerState.TERMINATED:
+            return [], []
+        interrupted, salvaged = container.evict(self.engine.now)
+        node = self.node(container.node_name)
+        if node is not None:
+            node.remove_container(container_id)
+        return interrupted, salvaged
+
+    # ------------------------------------------------------------------
+    # Node failure / recovery (driven by the fault injector)
+    # ------------------------------------------------------------------
+    def fail_node(self, node_name: str) -> Tuple[List, List]:
+        """Take a node down, evicting every container it hosts.
+
+        Failure semantics: each hosted container is evicted — its
+        running request fails, its queued requests survive (still
+        ``QUEUED``) for the caller to requeue.  The node stops counting
+        towards :attr:`total_cpu` and accepts no placements until
+        :meth:`recover_node`.
+
+        Returns the aggregated ``(interrupted, salvaged)`` request lists
+        across all evicted containers, in container order.  Idempotent:
+        failing an already-failed node returns empty lists.
+        """
+        node = self.node(node_name)
+        if node is None:
+            raise KeyError(f"unknown node {node_name!r}")
+        if node.failed:
+            return [], []
+        node.failed = True
+        interrupted: List = []
+        salvaged: List = []
+        for container in list(node.containers):
+            dropped, queued = self.evict_container(container.container_id)
+            interrupted.extend(dropped)
+            salvaged.extend(queued)
+        return interrupted, salvaged
+
+    def recover_node(self, node_name: str) -> None:
+        """Bring a failed node back (empty, at full capacity)."""
+        node = self.node(node_name)
+        if node is None:
+            raise KeyError(f"unknown node {node_name!r}")
+        node.failed = False
 
     def deflate_container(self, container_id: str, cpu: float) -> float:
         """Resize a container in place to ``cpu`` vCPUs; returns CPU released."""
@@ -353,7 +439,7 @@ class EdgeCluster:
 
     def find_node_for(self, cpu: float, memory_mb: float) -> Optional[Node]:
         """Best-fit placement: the feasible node with the least free CPU."""
-        candidates = [n for n in self.nodes if n.can_fit(cpu, memory_mb) and not n.unresponsive]
+        candidates = [n for n in self.nodes if n.can_fit(cpu, memory_mb) and n.available]
         if not candidates:
             return None
         return min(candidates, key=lambda n: (n.cpu_free, n.memory_free_mb, n.name))
@@ -361,7 +447,7 @@ class EdgeCluster:
     def room_for(self, function_name: str) -> int:
         """How many additional standard containers of a function fit right now."""
         dep = self.deployment(function_name)
-        return sum(n.room_for(dep.cpu, dep.memory_mb) for n in self.nodes if not n.unresponsive)
+        return sum(n.room_for(dep.cpu, dep.memory_mb) for n in self.nodes if n.available)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         """Debugging summary of nodes, functions, and containers."""

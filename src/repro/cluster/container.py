@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 import itertools
 from collections import deque
-from typing import Callable, Deque, List, Optional, TYPE_CHECKING
+from typing import Callable, Deque, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.sim.request import Request, RequestStatus
 
@@ -193,28 +193,60 @@ class Container:
         self.state = ContainerState.WARM
         self._notify_state()
 
-    def terminate(self, time: float) -> List[Request]:
-        """Terminate immediately.  Returns the requests that were dropped."""
-        dropped: List[Request] = []
+    def _teardown(self, time: float, drop_queued: bool) -> Tuple[List[Request], List[Request]]:
+        """Shared terminate/evict teardown: stop work, release state, notify.
+
+        Cancels the in-flight completion event, drops the running
+        request, closes the busy-time accounting, transitions to
+        ``TERMINATED`` and notifies the state observer.  ``drop_queued``
+        selects what happens to the FCFS queue: mark everything dropped
+        (orderly termination) or hand the requests back untouched, still
+        ``QUEUED`` (failure eviction).  Returns ``(dropped, salvaged)``.
+        """
         if self.state == ContainerState.TERMINATED:
-            return dropped
+            return [], []
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
+        dropped: List[Request] = []
         if self._current is not None:
             self._current.mark_dropped(time)
             dropped.append(self._current)
             self._current = None
-        while self._queue:
-            request = self._queue.popleft()
-            request.mark_dropped(time)
-            dropped.append(request)
+        salvaged = list(self._queue)
+        self._queue.clear()
+        if drop_queued:
+            for request in salvaged:
+                request.mark_dropped(time)
+            dropped.extend(salvaged)
+            salvaged = []
         if self._busy_since is not None:
             self.busy_time += time - self._busy_since
             self._busy_since = None
         self.state = ContainerState.TERMINATED
         self._notify_state()
+        return dropped, salvaged
+
+    def terminate(self, time: float) -> List[Request]:
+        """Terminate immediately.  Returns the requests that were dropped."""
+        dropped, _ = self._teardown(time, drop_queued=True)
         return dropped
+
+    def evict(self, time: float) -> Tuple[List[Request], List[Request]]:
+        """Crash-terminate the container, salvaging its queued requests.
+
+        Failure semantics (the fault-injection contract, distinct from
+        :meth:`terminate`): the request *running* at eviction time is
+        lost — it was executing on the dead node/process — and is marked
+        dropped; requests still *waiting* in the FCFS queue never
+        started, so they are returned **untouched** (still ``QUEUED``)
+        for the dispatcher to requeue onto surviving containers.
+
+        Returns ``(interrupted, salvaged)``: the dropped in-flight
+        request (0 or 1 element) and the still-queued survivors in FCFS
+        order.
+        """
+        return self._teardown(time, drop_queued=False)
 
     # ------------------------------------------------------------------
     # Deflation

@@ -42,6 +42,16 @@ class Node:
         #: Set true by the vanilla-OpenWhisk baseline when the node is
         #: overcommitted on CPU and stops responding (cascading failure, §6.6).
         self.unresponsive = False
+        #: Set true by the fault injector while the node is down.  Unlike
+        #: ``unresponsive`` (a baseline-behaviour flag that leaves capacity
+        #: accounting untouched), a failed node also drops out of the
+        #: cluster's capacity totals — the controller must plan around it.
+        self.failed = False
+
+    @property
+    def available(self) -> bool:
+        """Whether the node can host new containers (not failed, not unresponsive)."""
+        return not (self.failed or self.unresponsive)
 
     # ------------------------------------------------------------------
     # Capacity accounting

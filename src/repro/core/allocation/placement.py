@@ -51,7 +51,7 @@ def _feasible(nodes: Iterable[Node], request: PlacementRequest,
     """Nodes that still fit the request after the plan's prior reservations."""
     feasible = []
     for node in nodes:
-        if node.unresponsive:
+        if not node.available:
             continue
         reserved_cpu, reserved_mem = reserved.get(node.name, (0.0, 0.0))
         if (node.cpu_free - reserved_cpu >= request.cpu - 1e-9 and

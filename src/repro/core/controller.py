@@ -94,6 +94,13 @@ class ControllerConfig:
     #: warm-start each function's sizing search from last epoch's answer
     #: (provably exact; see repro.core.queueing.solver)
     sizing_warm_start: bool = True
+    #: seconds after a node failure/recovery during which the epoch loop
+    #: suppresses voluntary scale-downs (lazy draining marks): while the
+    #: fleet is churning, rate estimates are poisoned by the outage and
+    #: freed capacity would be reclaimed from functions that are about to
+    #: need it back.  Overload reclamation (fair-share enforcement) is
+    #: never suppressed — under genuine pressure capacity must move.
+    fault_recovery_grace: float = 30.0
 
     def __post_init__(self) -> None:
         """Validate the configuration parameters."""
@@ -103,6 +110,8 @@ class ControllerConfig:
             raise ValueError("rate_sample_interval must be positive")
         if not 0 < self.percentile < 1:
             raise ValueError("percentile must be in (0, 1)")
+        if self.fault_recovery_grace < 0:
+            raise ValueError("fault_recovery_grace must be non-negative")
 
 
 @dataclass
@@ -175,6 +184,9 @@ class LassController:
         self._functions: Dict[str, _FunctionState] = {}
         self._started = False
         self._epoch_count = 0
+        #: voluntary scale-downs are suppressed until this simulation time
+        #: (pushed forward by node failure/recovery notifications)
+        self._suppress_reclamation_until = -float("inf")
 
         service_profiles = service_profiles or {}
         default_service_rates = default_service_rates or {}
@@ -357,7 +369,10 @@ class LassController:
             targets = self.scheduling_tree.allocate(demands_cpu, total_cpu)
             self._apply_overload_plan(targets, decisions)
         else:
-            self._apply_normal_scaling(decisions)
+            # during the post-fault grace window only voluntary scale-downs
+            # are withheld; scale-ups and inflation proceed normally
+            allow_scale_down = now >= self._suppress_reclamation_until
+            self._apply_normal_scaling(decisions, allow_scale_down=allow_scale_down)
 
         # any queued work that can start on the (possibly changed) container
         # set should start now rather than wait for the next completion
@@ -429,11 +444,19 @@ class LassController:
         return None
 
     # -- no-pressure path (§3.3) ----------------------------------------
-    def _apply_normal_scaling(self, decisions: Dict[str, ScalingDecision]) -> None:
+    def _apply_normal_scaling(self, decisions: Dict[str, ScalingDecision],
+                              allow_scale_down: bool = True) -> None:
         # Scale down first (lazily), so freed capacity is visible to scale-ups.
-        """Apply the epoch's decisions when the cluster is not overloaded."""
+        """Apply the epoch's decisions when the cluster is not overloaded.
+
+        ``allow_scale_down=False`` (the post-fault grace window) skips
+        the lazy termination marks but still inflates and scales up.
+        """
         for name, decision in decisions.items():
             if decision.scale_down:
+                if not allow_scale_down:
+                    self.metrics.increment("reclamations_suppressed")
+                    continue
                 self._scale_down(name, -decision.delta)
         for name, decision in decisions.items():
             live = self.cluster.containers_of(name, include_draining=False)
@@ -565,6 +588,66 @@ class LassController:
             for request, node_name in placed.placements:
                 self.invokers[node_name].create_container(action.function_name, cpu=action.cpu)
                 self.metrics.increment("creations")
+
+    # -- fault path (driven by repro.faults.injector) --------------------
+    def on_node_failed(self, node_name: str, salvaged: List[Request]) -> None:
+        """React to a node failure: requeue survivors, replace lost capacity.
+
+        Called by the fault injector *after* the cluster evicted the
+        node's containers.  ``salvaged`` are the still-``QUEUED``
+        requests rescued from the evicted containers' FCFS queues; they
+        rejoin the head of their functions' shared queues (they arrived
+        earlier than anything queued there).  The controller then starts
+        a recovery pass immediately — the paper's reactive loop, not the
+        epoch cadence — and opens a grace window during which voluntary
+        reclamation is suppressed.
+        """
+        self.dispatcher.requeue(salvaged)
+        self._suppress_reclamation_until = (
+            self.engine.now + self.config.fault_recovery_grace
+        )
+        self._replace_lost_capacity()
+
+    def on_node_recovered(self, node_name: str) -> None:
+        """React to a node recovery: capacity is back, rebalance onto it.
+
+        Containers the failed node hosted are gone for good (state is
+        not preserved across an outage); what returns is *room*.  The
+        reactive pass below re-creates any containers the last sizing
+        pass wanted but could not place, and the grace window is
+        refreshed so the epoch loop does not immediately reclaim the
+        replacements created during the outage.
+        """
+        self._suppress_reclamation_until = (
+            self.engine.now + self.config.fault_recovery_grace
+        )
+        self._replace_lost_capacity()
+
+    def on_container_crashed(self, container: Container,
+                             salvaged: List[Request]) -> None:
+        """React to a single-container crash (crash-on-dispatch faults)."""
+        self.dispatcher.requeue(salvaged)
+        self._replace_lost_capacity()
+
+    def _replace_lost_capacity(self) -> None:
+        """Reactive recovery pass: scale every function back towards its target.
+
+        For each function the target is the last epoch's desired count
+        (or at least one container when work is queued and none exist).
+        Creation failures are tolerated — on a shrunken fleet some
+        replacements simply will not fit until the node recovers; the
+        next epoch's fair-share pass arbitrates the remaining capacity.
+        """
+        for name, state in self._functions.items():
+            desired = 0
+            if state.last_decision is not None:
+                desired = state.last_decision.desired_containers
+            if desired < 1 and self.dispatcher.queue_length(name):
+                desired = 1
+            live = self.cluster.containers_of(name, include_draining=False)
+            if desired > len(live):
+                self._scale_up(name, desired - len(live))
+        self._drain_all_queues()
 
     def _terminate(self, container_id: str) -> None:
         """Terminate one container by id (immediately, not lazily)."""

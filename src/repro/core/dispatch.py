@@ -72,6 +72,13 @@ class SharedQueueDispatcher:
         self.balancer = WeightedRoundRobinBalancer()
         self._queues: Dict[str, Deque[Request]] = {}
         self._on_complete = on_complete
+        #: Optional fault hook consulted at the single dispatch choke
+        #: point (:meth:`_dispatch_to`).  Returning ``False`` means the
+        #: container crashed on dispatch: the interceptor has already
+        #: disposed of the request and evicted the container, and the
+        #: dispatcher must not submit.  ``None`` (the default) keeps the
+        #: healthy hot path branch-predictable and byte-exact.
+        self.interceptor: Optional[Callable[[Request, Container], bool]] = None
         # function name -> container id -> container (insertion-ordered)
         self._idle: Dict[str, Dict[str, Container]] = {}
         #: True once container state notifications are wired up; without
@@ -176,6 +183,23 @@ class SharedQueueDispatcher:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    def _dispatch_to(self, container: Container, request: Request) -> bool:
+        """Hand one request to one container — the single dispatch choke point.
+
+        Every path that moves a request onto a container (fresh submits,
+        queue drains, completion-driven pulls) goes through here, so the
+        fault injector's crash-on-dispatch interceptor sees *every*
+        dispatch exactly once.  Returns ``False`` when the interceptor
+        reports a crash (the request is already disposed of); ``True``
+        when the request was submitted.
+        """
+        interceptor = self.interceptor
+        if interceptor is not None and not interceptor(request, container):
+            return False
+        self._mark_busy(container)
+        container.submit(request, self.engine, self._completion_hook)
+        return True
+
     def submit(self, request: Request, containers: Optional[Sequence[Container]] = None) -> bool:
         """Dispatch a new request.
 
@@ -184,7 +208,9 @@ class SharedQueueDispatcher:
         list preserves the seed behaviour of filtering it on the spot.
 
         Returns ``True`` if the request started on an idle container
-        immediately, ``False`` if it was queued.
+        immediately, ``False`` if it was queued — or if the chosen
+        container crashed on dispatch (fault injection), in which case
+        the request was failed, not queued.
         """
         if containers is None:
             idle = self._idle_candidates(request.function_name)
@@ -198,9 +224,7 @@ class SharedQueueDispatcher:
             request.mark_queued()
             queue.append(request)
             return False
-        self._mark_busy(chosen)
-        chosen.submit(request, self.engine, self._completion_hook)
-        return True
+        return self._dispatch_to(chosen, request)
 
     def drain(self, function_name: str, containers: Optional[Sequence[Container]] = None) -> int:
         """Move as many queued requests as possible onto idle containers.
@@ -223,8 +247,10 @@ class SharedQueueDispatcher:
             if chosen is None:  # pragma: no cover - idle is non-empty
                 queue.appendleft(request)
                 break
-            self._mark_busy(chosen)
-            chosen.submit(request, self.engine, self._completion_hook)
+            if not self._dispatch_to(chosen, request):
+                # crashed on dispatch: the request is gone, the container too
+                idle = [c for c in idle if c.is_dispatchable]
+                continue
             idle = [c for c in idle if c.is_idle]
             started += 1
         return started
@@ -250,7 +276,7 @@ class SharedQueueDispatcher:
             next_request = queue.popleft()
             if next_request.status is not RequestStatus.QUEUED:
                 continue
-            container.submit(next_request, self.engine, self._completion_hook)
+            self._dispatch_to(container, next_request)
         self._mark_idle_if_free(container)
 
 

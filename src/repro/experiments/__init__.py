@@ -23,6 +23,10 @@ the paper's numbers.
 | Figure 7       | :mod:`repro.experiments.fig7_deflation` |
 | Figure 8       | :mod:`repro.experiments.fig8_reclamation` |
 | Figure 9       | :mod:`repro.experiments.fig9_azure` |
+| Figure 10*     | :mod:`repro.experiments.fig10_recovery` |
+
+(*) Figure 10 is this reproduction's own extension — node-failure
+recovery under fault injection — not a figure of the source paper.
 """
 
 from typing import Callable, Dict, Optional
@@ -35,6 +39,7 @@ from repro.experiments.fig6_autoscaling import run_fig6, Fig6Result
 from repro.experiments.fig7_deflation import run_fig7, Fig7Point
 from repro.experiments.fig8_reclamation import run_fig8, Fig8Result
 from repro.experiments.fig9_azure import run_fig9, Fig9Result
+from repro.experiments.fig10_recovery import run_fig10, Fig10Result
 
 
 def _render_table1(duration: Optional[float]) -> str:
@@ -93,6 +98,19 @@ def _render_fig9(duration: Optional[float]) -> str:
     return format_fig9(run_fig9(duration_minutes=int(duration or 30)))
 
 
+def _render_fig10(duration: Optional[float]) -> str:
+    """Figure 10 node-failure recovery comparison (fault injection).
+
+    ``duration`` scales the whole timeline: the outage spans the middle
+    third of the run, as in the default 120 s → 240 s window.
+    """
+    from repro.experiments.fig10_recovery import format_fig10
+
+    total = duration or 360.0
+    return format_fig10(run_fig10(fail_at=total / 3, recover_at=2 * total / 3,
+                                  duration=total))
+
+
 #: Text renderer per paper experiment, keyed by scenario-registry name.
 RENDERERS: Dict[str, Callable[[Optional[float]], str]] = {
     "table1": _render_table1,
@@ -103,6 +121,7 @@ RENDERERS: Dict[str, Callable[[Optional[float]], str]] = {
     "fig7": _render_fig7,
     "fig8": _render_fig8,
     "fig9": _render_fig9,
+    "fig10": _render_fig10,
 }
 
 
@@ -142,4 +161,6 @@ __all__ = [
     "Fig8Result",
     "run_fig9",
     "Fig9Result",
+    "run_fig10",
+    "Fig10Result",
 ]

@@ -1,0 +1,136 @@
+"""Figure 10: recovery from a mid-run node failure (fault injection).
+
+This experiment goes beyond the paper's evaluation, which assumes a
+perfectly healthy cluster: it measures how the LaSS sizing/reclamation
+loop behaves when a third of the testbed disappears mid-run.  One
+SqueezeNet workload runs at steady load on the 3-node cluster; at
+``fail_at`` node-0 — the node best-fit packing loads with all the
+containers — crashes (they are evicted: running requests fail, queued
+requests are salvaged and requeued) and at ``recover_at`` it returns
+empty.
+
+Two arms replay *identical* randomness (``seed_mode="base"``, the same
+design as the Figure 8/9 policy comparisons), so every difference is
+caused by the outage alone:
+
+* **healthy** — the scenario without its fault schedule (byte-identical
+  to a spec that never had one, a property the metamorphic tests pin);
+* **faulted** — the same run with the node outage injected.
+
+The interesting outputs are the fault group of the results envelope —
+capacity/request availability and the controller's *recovery time* (how
+long until every function regained its pre-failure warm-container
+count, i.e. the re-provisioning loop's reaction, not the node's) —
+side-by-side with the SLO damage: P95 waiting time and attainment.
+
+This module is a thin renderer over the registry sweep ``"fig10"``,
+like every other experiment since the scenario subsystem landed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.scenarios import build, run_scenario
+
+
+@dataclass
+class Fig10Arm:
+    """One arm's headline numbers (healthy or faulted)."""
+
+    name: str
+    completions: int
+    failed_requests: int
+    p95_wait: float
+    slo_attainment: Optional[float]
+    mean_utilization: float
+    capacity_availability: Optional[float]
+    request_availability: Optional[float]
+    mean_recovery_time: Optional[float]
+
+
+@dataclass
+class Fig10Result:
+    """Both arms of the recovery experiment."""
+
+    node: str
+    fail_at: float
+    recover_at: float
+    healthy: Fig10Arm
+    faulted: Fig10Arm
+
+    @property
+    def p95_degradation(self) -> float:
+        """Faulted-minus-healthy P95 waiting time (seconds)."""
+        return self.faulted.p95_wait - self.healthy.p95_wait
+
+
+def _arm(data: Dict[str, Any], function: str) -> Fig10Arm:
+    """Extract one arm's summary from its scenario results envelope."""
+    metrics = data["metrics"]
+    func = metrics["functions"][function]
+    slo = func.get("slo")
+    faults = data.get("faults")
+    return Fig10Arm(
+        name=data["scenario"]["name"],
+        completions=metrics["counters"].get("completions", 0),
+        failed_requests=(faults or {}).get("failed_requests", 0),
+        p95_wait=func["waiting"]["p95"],
+        slo_attainment=slo["attainment"] if slo else None,
+        mean_utilization=metrics["cluster"]["mean_utilization"],
+        capacity_availability=(faults or {}).get("capacity_availability"),
+        request_availability=(faults or {}).get("request_availability"),
+        mean_recovery_time=(faults or {}).get("mean_recovery_time"),
+    )
+
+
+def run_fig10(
+    rate: float = 20.0,
+    fail_at: float = 120.0,
+    recover_at: float = 240.0,
+    duration: float = 360.0,
+    seed: int = 21,
+) -> Fig10Result:
+    """Regenerate Figure 10: the node-failure recovery comparison."""
+    sweep = build("fig10", rate=rate, fail_at=fail_at, recover_at=recover_at,
+                  duration=duration, seed=seed)
+    healthy = faulted = None
+    function = sweep.base.workloads[0].function
+    for spec in sweep.expand():
+        outcome = run_scenario(spec)
+        arm = _arm(outcome.data, function)
+        if spec.faults is None:
+            healthy = arm
+        else:
+            faulted = arm
+    assert healthy is not None and faulted is not None
+    node = sweep.base.faults.node_failures[0].node
+    return Fig10Result(node=node, fail_at=fail_at, recover_at=recover_at,
+                       healthy=healthy, faulted=faulted)
+
+
+def format_fig10(result: Fig10Result) -> str:
+    """Render the Figure 10 outcome as text."""
+    lines = [
+        f"{result.node} down from t={result.fail_at:g}s to t={result.recover_at:g}s",
+    ]
+    for arm in (result.healthy, result.faulted):
+        lines.append(f"arm={arm.name}")
+        lines.append(f"  completed requests        : {arm.completions}")
+        lines.append(f"  failed requests           : {arm.failed_requests}")
+        lines.append(f"  P95 waiting time          : {arm.p95_wait * 1000:.1f} ms")
+        if arm.slo_attainment is not None:
+            lines.append(f"  SLO attainment            : {arm.slo_attainment * 100:.1f}%")
+        lines.append(f"  mean utilisation          : {arm.mean_utilization * 100:.1f}%")
+        if arm.capacity_availability is not None:
+            lines.append(f"  capacity availability     : {arm.capacity_availability * 100:.2f}%")
+            lines.append(f"  request availability      : {arm.request_availability * 100:.2f}%")
+            recovery = (f"{arm.mean_recovery_time:.1f} s"
+                        if arm.mean_recovery_time is not None else "never")
+            lines.append(f"  mean recovery time        : {recovery}")
+    lines.append(f"P95 degradation under the outage: {result.p95_degradation * 1000:+.1f} ms")
+    return "\n".join(lines)
+
+
+__all__ = ["Fig10Arm", "Fig10Result", "run_fig10", "format_fig10"]

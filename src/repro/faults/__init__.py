@@ -1,0 +1,19 @@
+"""Fault injection: deterministic node churn, container crashes, cold-start jitter.
+
+The specs (:class:`FaultSpec` and friends) are plain serialisable data
+carried on a :class:`~repro.scenarios.spec.ScenarioSpec`; the
+:class:`FaultInjector` arms them against a live simulation stack.  See
+:mod:`repro.faults.spec` for the failure semantics and the determinism
+contract.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import ColdStartSpec, FaultSpec, NodeFailureSpec, node_outage
+
+__all__ = [
+    "ColdStartSpec",
+    "FaultInjector",
+    "FaultSpec",
+    "NodeFailureSpec",
+    "node_outage",
+]

@@ -1,0 +1,277 @@
+"""Declarative fault schedules: what goes wrong, and when.
+
+A :class:`FaultSpec` describes every failure a scenario injects into the
+simulated cluster — as *data*, exactly like the rest of the scenario
+layer (:mod:`repro.scenarios.spec`): plain frozen dataclasses, full
+validation on construction, and an exact ``from_dict(spec.to_dict())``
+JSON round-trip.  The live machinery that turns a spec into engine
+events is :class:`repro.faults.injector.FaultInjector`.
+
+Three fault families are modelled:
+
+* **Node failures** (:class:`NodeFailureSpec`) — a worker node crashes
+  at an explicit simulation time and (optionally) recovers later.  All
+  containers on the node are evicted: the request each was *running* is
+  failed, while requests still *queued* at its FCFS queues survive and
+  are requeued to the controller's shared per-function queues.
+* **Container crash-on-dispatch** — with probability
+  ``crash_probability`` a container crashes at the moment the dispatcher
+  hands it a request (modelling OOM-killed or segfaulting function
+  processes).  The dispatched request fails; the container's queued
+  requests are requeued.
+* **Cold-start latency distributions** (:class:`ColdStartSpec`) — the
+  constant ``ClusterConfig.cold_start_latency`` is replaced by a
+  per-container random draw, exposing the controller to realistic
+  provisioning jitter.
+
+Determinism contract
+--------------------
+Fault schedules never break seed-stability: node events fire at the
+explicit times in the spec, and both the crash and cold-start draws come
+from dedicated :class:`~repro.sim.rng.RngStreams` streams
+(``"faults:crash"`` and ``"faults:coldstart"``), consumed in event
+order.  A run with a ``FaultSpec`` is therefore a pure function of
+``(scenario, seed)``, exactly like a healthy run — the metamorphic
+tests in ``tests/test_faults.py`` pin this.
+
+An *empty* fault spec (no failures, zero crash probability, no
+cold-start override) is indistinguishable from no fault spec at all:
+:class:`~repro.scenarios.spec.ScenarioSpec` normalises it to ``None``,
+so the results JSON is byte-identical to the healthy scenario's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Valid ``kind`` values for :class:`ColdStartSpec` and their required params.
+_COLD_START_KINDS: Dict[str, Tuple[str, ...]] = {
+    "constant": ("latency",),
+    "uniform": ("low", "high"),
+    "lognormal": ("mu", "sigma"),
+}
+
+
+@dataclass(frozen=True)
+class NodeFailureSpec:
+    """One scheduled node failure (and optional recovery).
+
+    Attributes
+    ----------
+    node:
+        Name of the node that fails (``"node-0"``, ``"node-1"``, ... for
+        config-built clusters).  Unknown names fail loudly when the
+        injector attaches to the cluster, not silently at runtime.
+    fail_at:
+        Simulation time of the failure, in seconds.
+    recover_at:
+        Simulation time the node comes back (empty, at full capacity),
+        or ``None`` for a permanent failure.
+    """
+
+    node: str
+    fail_at: float
+    recover_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        """Validate the node name and the failure/recovery timestamps."""
+        if not self.node:
+            raise ValueError("node name must be non-empty")
+        if not 0.0 <= self.fail_at < math.inf:
+            raise ValueError(f"fail_at must be finite and non-negative, got {self.fail_at}")
+        if self.recover_at is not None and not self.fail_at < self.recover_at < math.inf:
+            raise ValueError(
+                f"recover_at ({self.recover_at}) must be after fail_at ({self.fail_at})"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) view."""
+        return {"node": self.node, "fail_at": self.fail_at, "recover_at": self.recover_at}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NodeFailureSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            node=data["node"],
+            fail_at=float(data["fail_at"]),
+            recover_at=(float(data["recover_at"])
+                        if data.get("recover_at") is not None else None),
+        )
+
+
+@dataclass(frozen=True)
+class ColdStartSpec:
+    """A cold-start latency distribution replacing the constant config value.
+
+    ``kind`` selects the family; ``params`` carries its arguments:
+
+    * ``"constant"`` — ``{"latency": s}`` (useful to override the
+      cluster config without randomness);
+    * ``"uniform"`` — ``{"low": s, "high": s}``;
+    * ``"lognormal"`` — ``{"mu": m, "sigma": s}`` of the underlying
+      normal (median latency ``exp(mu)`` seconds), the classic
+      heavy-tailed shape of real container provisioning.
+    """
+
+    kind: str
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        """Validate the kind, its required params, and their values."""
+        if self.kind not in _COLD_START_KINDS:
+            raise ValueError(
+                f"unknown cold-start kind {self.kind!r}; valid: {sorted(_COLD_START_KINDS)}"
+            )
+        missing = [key for key in _COLD_START_KINDS[self.kind] if key not in self.params]
+        if missing:
+            raise ValueError(f"cold-start kind {self.kind!r} missing params: {missing}")
+        params = {key: float(value) for key, value in self.params.items()}
+        if self.kind == "constant" and params["latency"] < 0:
+            raise ValueError("constant cold-start latency must be non-negative")
+        if self.kind == "uniform" and not 0 <= params["low"] <= params["high"]:
+            raise ValueError("uniform cold-start needs 0 <= low <= high")
+        if self.kind == "lognormal" and params["sigma"] < 0:
+            raise ValueError("lognormal sigma must be non-negative")
+        object.__setattr__(self, "params", params)
+
+    def build(self, rng: np.random.Generator) -> Callable[[], float]:
+        """A sampler drawing one cold-start latency per call from ``rng``."""
+        p = dict(self.params)
+        if self.kind == "constant":
+            latency = p["latency"]
+            return lambda: latency
+        if self.kind == "uniform":
+            low, high = p["low"], p["high"]
+            return lambda: float(rng.uniform(low, high))
+        mu, sigma = p["mu"], p["sigma"]
+        return lambda: float(rng.lognormal(mean=mu, sigma=sigma))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) view."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ColdStartSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The complete fault schedule of one scenario.
+
+    Attributes
+    ----------
+    node_failures:
+        Scheduled node failures/recoveries, fired as engine events at
+        :data:`~repro.sim.engine.SimulationEngine.PRIORITY_FAULT`.
+    crash_probability:
+        Per-dispatch probability that the chosen container crashes
+        instead of accepting the request, in ``[0, 1)``.
+    crash_functions:
+        Restrict crash-on-dispatch to these functions (``None`` = all).
+    cold_start:
+        Optional cold-start latency distribution replacing the cluster
+        config's constant.
+    """
+
+    node_failures: Tuple[NodeFailureSpec, ...] = ()
+    crash_probability: float = 0.0
+    crash_functions: Optional[Tuple[str, ...]] = None
+    cold_start: Optional[ColdStartSpec] = None
+
+    def __post_init__(self) -> None:
+        """Validate the crash probability and freeze the collections.
+
+        Per-node failure windows must be disjoint and ordered: a node
+        cannot fail while already down, and nothing can follow a
+        permanent (``recover_at=None``) failure.  Overlap would make the
+        recovery event of one window revive a node another window still
+        holds down — a silent availability-accounting error — so it is a
+        spec bug and fails loudly here.
+        """
+        if not 0.0 <= self.crash_probability < 1.0:
+            raise ValueError("crash_probability must be in [0, 1)")
+        failures = tuple(
+            f if isinstance(f, NodeFailureSpec) else NodeFailureSpec.from_dict(f)
+            for f in self.node_failures
+        )
+        by_node: Dict[str, list] = {}
+        for failure in failures:
+            by_node.setdefault(failure.node, []).append(failure)
+        for node, windows in by_node.items():
+            windows.sort(key=lambda f: f.fail_at)
+            for earlier, later in zip(windows, windows[1:]):
+                if earlier.recover_at is None:
+                    raise ValueError(
+                        f"node {node!r}: permanent failure at t={earlier.fail_at} "
+                        f"cannot be followed by another failure window"
+                    )
+                if later.fail_at < earlier.recover_at:
+                    raise ValueError(
+                        f"node {node!r}: failure windows overlap "
+                        f"([{earlier.fail_at}, {earlier.recover_at}] and "
+                        f"[{later.fail_at}, {later.recover_at}])"
+                    )
+        object.__setattr__(self, "node_failures", failures)
+        if self.crash_functions is not None:
+            object.__setattr__(self, "crash_functions", tuple(self.crash_functions))
+
+    def is_empty(self) -> bool:
+        """Whether this spec injects nothing at all.
+
+        Empty specs are normalised to ``None`` by
+        :class:`~repro.scenarios.spec.ScenarioSpec`, which is what makes
+        a faults-disabled run byte-identical to the healthy scenario.
+        """
+        return (not self.node_failures
+                and self.crash_probability == 0.0
+                and self.cold_start is None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) view of the whole fault schedule."""
+        return {
+            "node_failures": [f.to_dict() for f in self.node_failures],
+            "crash_probability": self.crash_probability,
+            "crash_functions": (list(self.crash_functions)
+                                if self.crash_functions is not None else None),
+            "cold_start": self.cold_start.to_dict() if self.cold_start is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        """Rebuild (and re-validate) a fault schedule from :meth:`to_dict` output."""
+        cold_start = data.get("cold_start")
+        crash_functions = data.get("crash_functions")
+        return cls(
+            node_failures=tuple(
+                NodeFailureSpec.from_dict(f) for f in data.get("node_failures", ())
+            ),
+            crash_probability=float(data.get("crash_probability", 0.0)),
+            crash_functions=(tuple(crash_functions)
+                             if crash_functions is not None else None),
+            cold_start=(ColdStartSpec.from_dict(cold_start)
+                        if cold_start is not None else None),
+        )
+
+
+def node_outage(node: str, fail_at: float, recover_at: Optional[float],
+                *more: Sequence[Any]) -> FaultSpec:
+    """Convenience builder: one (or more) node failure/recovery windows.
+
+    ``more`` takes additional ``(node, fail_at, recover_at)`` triples::
+
+        node_outage("node-1", 120.0, 240.0)
+        node_outage("node-0", 60.0, 120.0, ("node-1", 180.0, 240.0))
+    """
+    failures = [NodeFailureSpec(node, fail_at, recover_at)]
+    for entry in more:
+        failures.append(NodeFailureSpec(*entry))
+    return FaultSpec(node_failures=tuple(failures))
+
+
+__all__ = ["NodeFailureSpec", "ColdStartSpec", "FaultSpec", "node_outage"]

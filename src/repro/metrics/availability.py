@@ -1,0 +1,126 @@
+"""Availability and recovery-time accounting for fault-injection runs.
+
+The SLO metrics of the healthy scenarios (waiting-time percentiles,
+attainment) say nothing about what happens when capacity disappears.
+:class:`AvailabilityTracker` adds the two fault-centric views the
+recovery experiments report:
+
+* **capacity availability** — the time-weighted mean of
+  ``available_cpu / configured_cpu`` over the run, where *configured*
+  is the cluster as specced and *available* excludes failed nodes.  A
+  run with no failures scores exactly ``1.0``.
+* **recovery records** — one :class:`RecoveryRecord` per node failure,
+  tracking when the *controller* (not the node) restored service: the
+  first time every function that lost warm capacity is back at its
+  pre-failure warm-container count.  That is the paper-relevant number:
+  it measures the re-provisioning loop, not the hardware.
+
+Everything here is driven by the
+:class:`~repro.faults.injector.FaultInjector`; the tracker itself is
+pure bookkeeping and never touches the engine, so it adds no events and
+cannot perturb determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class RecoveryRecord:
+    """The lifecycle of one node failure, from outage to restored service.
+
+    ``recovery_time`` is ``None`` while the controller has not yet
+    restored every affected function's pre-failure warm-container count
+    (or forever, if the capacity to do so no longer exists).
+    """
+
+    node: str
+    fail_at: float
+    recover_at: Optional[float]
+    containers_lost: int
+    #: per-function warm-container counts to restore (cluster-wide)
+    warm_targets: Dict[str, int]
+    recovery_time: Optional[float] = None
+
+    @property
+    def recovered(self) -> bool:
+        """Whether service was fully restored after this failure."""
+        return self.recovery_time is not None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (used in the scenario results ``faults`` group)."""
+        return {
+            "node": self.node,
+            "fail_at": self.fail_at,
+            "recover_at": self.recover_at,
+            "containers_lost": self.containers_lost,
+            "recovery_time": self.recovery_time,
+        }
+
+
+class AvailabilityTracker:
+    """Time-weighted capacity availability plus per-failure recovery records.
+
+    The tracker is a step function: :meth:`record_capacity` appends a
+    ``(time, fraction)`` breakpoint whenever node state changes, and
+    :meth:`mean_availability` integrates the steps over ``[0, end]``.
+    Before the first breakpoint the cluster is fully available.
+    """
+
+    def __init__(self) -> None:
+        """Start fully available with no failure history."""
+        self._breakpoints: List[tuple] = []  # (time, available fraction)
+        self.records: List[RecoveryRecord] = []
+
+    # ------------------------------------------------------------------
+    # Capacity steps
+    # ------------------------------------------------------------------
+    def record_capacity(self, time: float, available_cpu: float,
+                        configured_cpu: float) -> None:
+        """Record a capacity step (called on every node failure/recovery)."""
+        fraction = available_cpu / configured_cpu if configured_cpu > 0 else 0.0
+        self._breakpoints.append((float(time), max(0.0, min(1.0, fraction))))
+
+    def mean_availability(self, end_time: float) -> float:
+        """Time-weighted mean available-capacity fraction over ``[0, end_time]``."""
+        if end_time <= 0 or not self._breakpoints:
+            return 1.0
+        total = 0.0
+        previous_time = 0.0
+        previous_fraction = 1.0
+        for time, fraction in self._breakpoints:
+            clamped = min(max(time, 0.0), end_time)
+            total += previous_fraction * (clamped - previous_time)
+            previous_time = clamped
+            previous_fraction = fraction
+        total += previous_fraction * max(0.0, end_time - previous_time)
+        return total / end_time
+
+    # ------------------------------------------------------------------
+    # Recovery records
+    # ------------------------------------------------------------------
+    def open_record(self, record: RecoveryRecord) -> None:
+        """Register a node failure whose recovery should be tracked."""
+        self.records.append(record)
+
+    def open_records(self) -> List[RecoveryRecord]:
+        """Failures whose service has not yet been restored."""
+        return [r for r in self.records if not r.recovered]
+
+    def recovery_times(self) -> List[float]:
+        """Recovery durations of the failures that did recover, in order."""
+        return [r.recovery_time for r in self.records if r.recovery_time is not None]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary of the failure/recovery history."""
+        times = self.recovery_times()
+        return {
+            "recoveries": [r.as_dict() for r in self.records],
+            "mean_recovery_time": sum(times) / len(times) if times else None,
+            "max_recovery_time": max(times) if times else None,
+        }
+
+
+__all__ = ["AvailabilityTracker", "RecoveryRecord"]

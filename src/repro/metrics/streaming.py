@@ -22,7 +22,15 @@ Two sketches are provided:
   (Vitter's algorithm R with a seeded stdlib RNG): constant memory,
   exact handling of atoms and arbitrary query quantiles, accuracy
   limited only by sampling error (±~0.3 % of rank at the default 4096
-  samples).  This is what :class:`StreamingSummary` uses.
+  samples).  This is what :class:`StreamingSummary` uses by default.
+
+:class:`StreamingSummary` can be constructed with ``sketch="p2"`` for
+continuous-valued streams where the five-marker footprint matters.  The
+zero-wait caveat is then enforced, not just documented: once the
+fraction of exact-zero observations reaches
+:data:`ZERO_ATOM_UNSAFE_FRACTION`, quantile queries raise
+:class:`UnsafeSketchError` instead of silently returning a stranded
+marker value.
 """
 
 from __future__ import annotations
@@ -34,6 +42,23 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.metrics.percentiles import WaitingTimeSummary
+
+#: Zero-observation fraction at which the P² markers are considered
+#: stranded for waiting-time-like streams.  The documented failure mode
+#: needs a *heavy* atom (>50 % zeros in real runs); 25 % is a
+#: conservative trip point well below where the estimate degrades.
+ZERO_ATOM_UNSAFE_FRACTION = 0.25
+
+
+class UnsafeSketchError(RuntimeError):
+    """The selected streaming sketch cannot answer safely for this stream.
+
+    Raised (loudly, at query time) when the P² sketch was selected for a
+    stream carrying a heavy zero atom — the exact situation the module
+    docstring documents as producing silently wrong percentiles.  Switch
+    to the default reservoir sketch, which represents atoms with their
+    true mass.
+    """
 
 
 class P2Quantile:
@@ -180,31 +205,52 @@ class StreamingSummary:
     """Constant-memory replacement for a stored-sample waiting-time summary.
 
     Tracks count / mean / min / max exactly and answers quantile queries
-    from one shared :class:`ReservoirQuantiles` sketch (robust to the
-    zero-wait atom that breaks P² — see the module docstring).
+    from a bounded sketch.  The default (``sketch="reservoir"``) is one
+    shared :class:`ReservoirQuantiles` — robust to the zero-wait atom
+    that breaks P² (see the module docstring).  ``sketch="p2"`` keeps
+    one :class:`P2Quantile` per tracked quantile instead; it is only
+    safe for continuous streams, and quantile queries **fail loudly**
+    with :class:`UnsafeSketchError` once the stream's exact-zero
+    fraction reaches :data:`ZERO_ATOM_UNSAFE_FRACTION`.
     """
 
     QUANTILES = (0.5, 0.90, 0.95, 0.99)
 
-    __slots__ = ("_count", "_mean", "_min", "_max", "_reservoir")
+    __slots__ = ("_count", "_mean", "_min", "_max", "_reservoir", "_p2",
+                 "_zero_count", "sketch")
 
     #: 16 k samples ≈ 128 KB: rank error ±0.17 % at p95, which matters when
     #: the wait CDF is nearly flat around the tracked percentile (large
     #: value jumps for small rank errors, as in overloaded scenarios)
     DEFAULT_MAX_SAMPLES = 16384
 
-    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
-        """Start an empty summary."""
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES,
+                 sketch: str = "reservoir") -> None:
+        """Start an empty summary using the chosen quantile sketch."""
+        if sketch not in ("reservoir", "p2"):
+            raise ValueError(f"unknown sketch {sketch!r}; valid: 'reservoir', 'p2'")
+        self.sketch = sketch
         self._count = 0
         self._mean = 0.0
         self._min = 0.0
         self._max = 0.0
-        self._reservoir = ReservoirQuantiles(max_samples)
+        self._zero_count = 0
+        self._reservoir: Optional[ReservoirQuantiles] = None
+        self._p2: Optional[Dict[float, P2Quantile]] = None
+        if sketch == "reservoir":
+            self._reservoir = ReservoirQuantiles(max_samples)
+        else:
+            self._p2 = {q: P2Quantile(q) for q in self.QUANTILES}
 
     @property
     def count(self) -> int:
         """Number of observations."""
         return self._count
+
+    @property
+    def zero_fraction(self) -> float:
+        """Fraction of observations that were exactly zero (the wait atom)."""
+        return self._zero_count / self._count if self._count else 0.0
 
     def add(self, value: float) -> None:
         """Feed one observation (running moments + the quantile sketch)."""
@@ -218,7 +264,13 @@ class StreamingSummary:
             if value > self._max:
                 self._max = value
         self._mean += (value - self._mean) / self._count
-        self._reservoir.add(value)
+        if value == 0.0:
+            self._zero_count += 1
+        if self._reservoir is not None:
+            self._reservoir.add(value)
+        else:
+            for estimator in self._p2.values():
+                estimator.add(value)
 
     def extend(self, values: Iterable[float]) -> None:
         """Feed many observations."""
@@ -226,8 +278,31 @@ class StreamingSummary:
             self.add(value)
 
     def quantile(self, p: float) -> float:
-        """Current estimate of any quantile in (0, 1)."""
-        return self._reservoir.quantile(p)
+        """Current estimate of a quantile in (0, 1).
+
+        The reservoir sketch answers any quantile; the P² sketch only
+        the tracked :data:`QUANTILES`, and raises
+        :class:`UnsafeSketchError` once the stream's zero atom makes its
+        markers untrustworthy — silently returning a stranded estimate
+        is exactly the failure mode this guard exists to prevent.
+        """
+        if self._reservoir is not None:
+            return self._reservoir.quantile(p)
+        if self._count and self.zero_fraction >= ZERO_ATOM_UNSAFE_FRACTION:
+            raise UnsafeSketchError(
+                f"P² sketch selected but {self.zero_fraction:.0%} of the "
+                f"{self._count} observations are exact zeros (>= "
+                f"{ZERO_ATOM_UNSAFE_FRACTION:.0%}): the P² markers cannot "
+                "cross a heavy atom and the estimate would be silently "
+                "wrong. Use the default sketch='reservoir' for "
+                "waiting-time streams."
+            )
+        estimator = self._p2.get(p)
+        if estimator is None:
+            raise ValueError(
+                f"sketch='p2' only tracks quantiles {self.QUANTILES}, not {p}"
+            )
+        return estimator.value()
 
     def summary(self) -> WaitingTimeSummary:
         """Render as the same record the stored-sample path produces."""
@@ -245,4 +320,10 @@ class StreamingSummary:
         )
 
 
-__all__ = ["P2Quantile", "ReservoirQuantiles", "StreamingSummary"]
+__all__ = [
+    "P2Quantile",
+    "ReservoirQuantiles",
+    "StreamingSummary",
+    "UnsafeSketchError",
+    "ZERO_ATOM_UNSAFE_FRACTION",
+]

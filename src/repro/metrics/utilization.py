@@ -61,9 +61,14 @@ class UtilizationTracker:
         self._samples: List[UtilizationSample] = []
 
     def record(self, time: float, allocated_cpu: float, total_cpu: float) -> None:
-        """Record one sample of allocated vs. total CPU."""
-        if total_cpu <= 0:
-            raise ValueError("total_cpu must be positive")
+        """Record one sample of allocated vs. total CPU.
+
+        ``total_cpu`` may be zero — a cluster whose every node has
+        failed (fault injection) has no capacity, and the sample records
+        utilisation 0 rather than crashing the epoch loop.
+        """
+        if total_cpu < 0:
+            raise ValueError("total_cpu must be non-negative")
         if allocated_cpu < 0:
             raise ValueError("allocated_cpu must be non-negative")
         if self._samples and time < self._samples[-1].time - 1e-9:

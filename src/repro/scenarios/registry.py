@@ -5,9 +5,10 @@ Each entry is a builder that returns a fully-validated
 :class:`~repro.scenarios.sweep.SweepSpec`.  The nine paper experiments
 (``table1``, ``fig3`` … ``fig9``) are registered here — the modules
 under :mod:`repro.experiments` are thin renderers over these specs —
-alongside the ``examples/`` workloads, so ``python -m repro scenario
-fig3`` and a user-supplied ``spec.json`` go through exactly the same
-machinery.
+alongside this reproduction's own ``fig10`` fault-injection recovery
+experiment, the fault/recovery scenarios, and the ``examples/``
+workloads, so ``python -m repro scenario fig3`` and a user-supplied
+``spec.json`` go through exactly the same machinery.
 
 Builders accept keyword overrides for their experiment's traditional
 knobs (durations, seeds, grids), defaulting to the paper configuration.
@@ -19,9 +20,11 @@ actually registered.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.faults.spec import ColdStartSpec, FaultSpec, NodeFailureSpec
 from repro.scenarios.spec import (
     AllocationSpec,
     ClusterSpec,
@@ -109,7 +112,7 @@ def names(tag: Optional[str] = None) -> List[str]:
 
 
 def experiment_names() -> List[str]:
-    """The paper experiments (``table1``, ``fig3`` … ``fig9``), sorted."""
+    """The experiments (``table1``, ``fig3`` … ``fig10``), sorted."""
     return names(tag="paper")
 
 
@@ -504,6 +507,162 @@ def _fig9(duration_minutes: int = 60, seed: int = 9,
         ),
         seed_mode="base",  # both policies replay identical traces and arrivals
         description="Figure 9 reclamation-policy comparison on Azure-like traces",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10: fault injection — recovery from node failures and churn
+# ----------------------------------------------------------------------
+def _recovery_base(rate: float, fail_at: float, recover_at: Optional[float],
+                   duration: float, seed: int, faulted: bool = True) -> ScenarioSpec:
+    """One SqueezeNet workload on the 3-node testbed losing (and regaining) a node.
+
+    The canonical recovery atom: steady load sized to need most of the
+    cluster, one node failing mid-run.  With ``faulted=False`` the
+    ``FaultSpec`` is empty and the spec normalises to the byte-identical
+    healthy scenario — the property the metamorphic tests pin.
+    """
+    faults = None
+    if faulted:
+        # node-0 is where best-fit packing concentrates the containers, so
+        # the outage actually takes out serving capacity
+        faults = FaultSpec(node_failures=(
+            NodeFailureSpec("node-0", fail_at, recover_at),
+        ))
+    return ScenarioSpec(
+        name="node-failure-recovery",
+        kind="simulate",
+        description="SqueezeNet at steady load; node-0 fails mid-run and "
+                    "recovers later — measures availability and the "
+                    "controller's re-provisioning time",
+        workloads=(
+            WorkloadSpec(
+                function="squeezenet",
+                schedule=ScheduleSpec.static(rate=rate, duration=duration),
+                slo_deadline=0.1,
+            ),
+        ),
+        duration=duration,
+        warmup=30.0,
+        seed=seed,
+        warm_start={"squeezenet": 2},
+        metrics=("waiting", "slo", "utilization", "counters", "timeline", "generated"),
+        faults=faults,
+    )
+
+
+@register("node-failure-recovery",
+          "One node fails mid-run and recovers: availability + recovery time",
+          tags=("faults", "example"))
+def _node_failure_recovery(rate: float = 20.0, fail_at: float = 120.0,
+                           recover_at: Optional[float] = 240.0,
+                           duration: float = 360.0, seed: int = 21,
+                           faulted: bool = True) -> ScenarioSpec:
+    """The canonical single-outage recovery scenario."""
+    return _recovery_base(rate, fail_at, recover_at, duration, seed, faulted)
+
+
+@register("rolling-node-churn",
+          "Staggered node outages (rolling restart) under two workloads",
+          tags=("faults", "example"))
+def _rolling_node_churn(phase: float = 90.0, seed: int = 22,
+                        duration: Optional[float] = None) -> ScenarioSpec:
+    """Each node goes down for one phase, one after another (rolling restart).
+
+    Two functions with different container sizes keep the packing
+    non-trivial while the fleet shrinks and regrows.
+    """
+    duration = duration if duration is not None else 5 * phase
+    failures = tuple(
+        NodeFailureSpec(f"node-{i}", fail_at=(i + 1) * phase,
+                        recover_at=(i + 2) * phase)
+        for i in range(3)
+    )
+    return ScenarioSpec(
+        name="rolling-node-churn",
+        kind="simulate",
+        description="Rolling outage across all three nodes: the controller must "
+                    "keep both functions served while a third of the fleet is "
+                    "always missing",
+        workloads=(
+            WorkloadSpec(
+                function="geofence",
+                schedule=ScheduleSpec.static(rate=30.0, duration=duration),
+                slo_deadline=0.1,
+            ),
+            WorkloadSpec(
+                function="squeezenet",
+                schedule=ScheduleSpec.static(rate=10.0, duration=duration),
+                slo_deadline=0.2,
+            ),
+        ),
+        duration=duration,
+        warmup=30.0,
+        seed=seed,
+        warm_start={"geofence": 1, "squeezenet": 1},
+        metrics=("waiting", "slo", "utilization", "counters", "timeline", "generated"),
+        faults=FaultSpec(node_failures=failures),
+    )
+
+
+@register("flaky-containers",
+          "Containers crash on dispatch and cold starts are heavy-tailed",
+          tags=("faults", "example"))
+def _flaky_containers(crash_probability: float = 0.02, rate: float = 20.0,
+                      duration: float = 300.0, seed: int = 23) -> ScenarioSpec:
+    """Container-level churn: crash-on-dispatch plus lognormal cold starts.
+
+    No node ever fails here; the stress is the steady trickle of dying
+    containers and the provisioning jitter of their replacements.
+    """
+    return ScenarioSpec(
+        name="flaky-containers",
+        kind="simulate",
+        description="SqueezeNet under per-dispatch container crashes and "
+                    "lognormal cold-start latency",
+        workloads=(
+            WorkloadSpec(
+                function="squeezenet",
+                schedule=ScheduleSpec.static(rate=rate, duration=duration),
+                slo_deadline=0.1,
+            ),
+        ),
+        duration=duration,
+        warmup=30.0,
+        seed=seed,
+        warm_start={"squeezenet": 2},
+        metrics=("waiting", "slo", "utilization", "counters", "timeline", "generated"),
+        faults=FaultSpec(
+            crash_probability=crash_probability,
+            # median 0.5 s (the configured constant), sigma 0.5: P95 ≈ 1.1 s
+            cold_start=ColdStartSpec("lognormal", {"mu": math.log(0.5), "sigma": 0.5}),
+        ),
+    )
+
+
+@register("fig10", "Figure 10: recovery from a mid-run node failure "
+                   "(faulted vs. healthy arms on identical randomness)",
+          tags=("paper",))
+def _fig10(rate: float = 20.0, fail_at: float = 120.0,
+           recover_at: float = 240.0, duration: float = 360.0,
+           seed: int = 21) -> SweepSpec:
+    """The recovery experiment: one workload, with and without the outage.
+
+    ``seed_mode="base"`` makes both arms replay identical arrival and
+    service randomness, so every difference in the results is caused by
+    the fault schedule alone — the same same-randomness design as the
+    Figure 8/9 policy comparisons.
+    """
+    base = _recovery_base(rate, fail_at, recover_at, duration, seed, faulted=True)
+    return SweepSpec(
+        name="fig10",
+        base=base,
+        points=(
+            {"name": "fig10-faulted"},
+            {"name": "fig10-healthy", "faults": None},
+        ),
+        seed_mode="base",
+        description="Node-failure recovery: faulted vs. healthy arm",
     )
 
 

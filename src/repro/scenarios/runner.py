@@ -26,6 +26,9 @@ Results schema (``repro/scenario-result@1``)
       "allocation": {...}      # kind="fixed" only: resolved container plan
       "rows": [...]            # table-like kinds (sizing/deflation/catalogue)
       "openwhisk": {...}       # kind="openwhisk" only: invoker failures
+      "faults": {...}          # only when the spec carries a FaultSpec:
+                               # availability, failed/requeued requests,
+                               # per-failure recovery times
     }
 
 Only the metric groups named in ``spec.metrics`` are populated.  The
@@ -146,9 +149,14 @@ def _run_simulate(spec: ScenarioSpec) -> ScenarioOutcome:
         scheduling_tree=tree,
         seed=spec.seed,
         warm_start_containers=dict(spec.warm_start) or None,
+        fault_spec=spec.faults,
     )
     result = runner.run(duration=spec.duration, extra_drain=spec.extra_drain)
     data = _envelope(spec, metrics=_collect_metrics(spec, result, runner.controller))
+    if runner.fault_injector is not None:
+        # present exactly when the (normalised) spec carries faults, so a
+        # faults-disabled run stays byte-identical to the healthy scenario
+        data["faults"] = runner.fault_injector.report(spec.duration)
     return ScenarioOutcome(spec=spec, data=data, sim=result)
 
 

@@ -43,6 +43,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import ClusterConfig
 from repro.core.controller import ControllerConfig, ReclamationPolicy
+from repro.faults.spec import FaultSpec
 from repro.workloads.functions import FunctionProfile, get_function, microbenchmark
 from repro.workloads.generator import WorkloadBinding
 from repro.workloads.schedules import (
@@ -466,6 +467,13 @@ class ScenarioSpec:
     extra_drain:
         Seconds the event loop runs past the horizon so in-flight
         requests complete.
+    faults:
+        Optional :class:`~repro.faults.spec.FaultSpec` (``simulate``
+        kind only): node failures/recoveries, container
+        crash-on-dispatch, cold-start latency distributions.  An
+        *empty* fault spec is normalised to ``None`` at construction,
+        so a faults-disabled scenario serialises — and therefore runs
+        and reports — byte-identically to the healthy scenario.
     """
 
     name: str
@@ -483,6 +491,7 @@ class ScenarioSpec:
     metrics: Tuple[str, ...] = ("waiting", "slo", "utilization", "counters")
     params: Mapping[str, Any] = field(default_factory=dict)
     extra_drain: float = 5.0
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         """Validate the scenario and freeze its collections."""
@@ -509,6 +518,13 @@ class ScenarioSpec:
         unknown = [m for m in self.metrics if m not in KNOWN_METRICS]
         if unknown:
             raise ValueError(f"unknown metrics {unknown}; valid: {KNOWN_METRICS}")
+        if self.faults is not None:
+            if self.faults.is_empty():
+                # normalise: an empty schedule IS the healthy scenario, and
+                # must serialise (and hash) identically to faults=None
+                object.__setattr__(self, "faults", None)
+            elif self.kind != "simulate":
+                raise ValueError("faults are only supported for kind 'simulate'")
         object.__setattr__(self, "workloads", tuple(self.workloads))
         object.__setattr__(self, "metrics", tuple(self.metrics))
         object.__setattr__(self, "warm_start", _freeze(dict(self.warm_start)))
@@ -538,6 +554,7 @@ class ScenarioSpec:
             "metrics": list(self.metrics),
             "params": _thaw(dict(self.params)),
             "extra_drain": self.extra_drain,
+            "faults": self.faults.to_dict() if self.faults is not None else None,
         }
 
     @classmethod
@@ -564,6 +581,8 @@ class ScenarioSpec:
             metrics=tuple(data.get("metrics", ("waiting", "slo", "utilization", "counters"))),
             params=data.get("params", {}),
             extra_drain=float(data.get("extra_drain", 5.0)),
+            faults=(FaultSpec.from_dict(data["faults"])
+                    if data.get("faults") is not None else None),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

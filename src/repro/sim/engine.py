@@ -130,6 +130,12 @@ class SimulationEngine:
 
     #: Default priority for data-path events.
     PRIORITY_DATA = 0
+    #: Priority for fault-injection events (node failures/recoveries):
+    #: after data events at the same instant — a request arriving at the
+    #: failure time is dispatched before the node dies — but before the
+    #: control plane, so an epoch tick at the same instant sees the
+    #: post-failure cluster.
+    PRIORITY_FAULT = 5
     #: Priority for control-plane events; runs after data events at the same time.
     PRIORITY_CONTROL = 10
 

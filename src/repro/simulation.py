@@ -24,6 +24,8 @@ from repro.cluster.cluster import ClusterConfig, EdgeCluster
 from repro.core.controller import ControllerConfig, LassController
 from repro.core.estimation.service_time import ServiceTimeProfile
 from repro.core.allocation.hierarchy import SchedulingTree
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpec
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.percentiles import WaitingTimeSummary
 from repro.metrics.slo import SloReport
@@ -97,7 +99,14 @@ class SimulationRunner:
     metrics:
         Optional pre-built collector — pass
         ``MetricsCollector(streaming_percentiles=True, store_requests=False)``
-        to keep constant-memory P² percentiles on very long runs.
+        to keep constant-memory streaming percentiles on very long runs.
+    fault_spec:
+        Optional :class:`~repro.faults.spec.FaultSpec`; when given (and
+        non-empty) a :class:`~repro.faults.injector.FaultInjector` is
+        armed against the run — node failures/recoveries, container
+        crash-on-dispatch, and cold-start latency distributions, all
+        deterministic under the run's master seed.  ``None`` (or an
+        empty spec) leaves the healthy event stream byte-identical.
     """
 
     def __init__(
@@ -111,6 +120,7 @@ class SimulationRunner:
         warm_start_containers: Optional[Mapping[str, int]] = None,
         arrival_batch_size: int = 256,
         metrics: Optional[MetricsCollector] = None,
+        fault_spec: Optional["FaultSpec"] = None,
     ) -> None:
         """Build the engine, cluster, controller, and arrival generators (see the class docstring for parameter semantics)."""
         if not workloads:
@@ -167,18 +177,39 @@ class SimulationRunner:
 
         self._warm_start = dict(warm_start_containers or {})
 
+        self.fault_injector: Optional[FaultInjector] = None
+        if fault_spec is not None and not fault_spec.is_empty():
+            self.fault_injector = FaultInjector(
+                engine=self.engine,
+                cluster=self.cluster,
+                controller=self.controller,
+                metrics=self.metrics,
+                rng=self.rng,
+                spec=fault_spec,
+            )
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def prewarm(self) -> None:
         """Create the requested warm-start containers and let them finish cold start."""
-        created_any = False
+        created = []
         for name, count in self._warm_start.items():
             for _ in range(count):
-                self.cluster.create_container(name)
-                created_any = True
-        if created_any:
+                created.append(self.cluster.create_container(name))
+        if not created:
+            return
+        if self.cluster.cold_start_sampler is None:
             self.engine.run(until=self.engine.now + self.cluster.config.cold_start_latency + 1e-6)
+        else:
+            # cold-start latencies are sampled per container: step until every
+            # warm-start container left STARTING (fault-injected runs only,
+            # so the healthy prewarm path stays byte-exact)
+            from repro.cluster.container import ContainerState
+
+            while any(c.state is ContainerState.STARTING for c in created):
+                if not self.engine.step():  # pragma: no cover - defensive
+                    break
 
     def run(self, duration: float, extra_drain: float = 5.0) -> SimulationResult:
         """Run the simulation for ``duration`` seconds of workload.

@@ -1,0 +1,237 @@
+"""Property-based invariant tests for the fast-path machinery.
+
+The PR-1/PR-3 fast paths (tuple-keyed event heap, bucketized sliding
+windows, vectorised/memoized sizing solver) each replaced a simple
+implementation with an optimised one whose correctness rests on an
+invariant.  These tests state those invariants as *properties* over
+randomised inputs (hypothesis), rather than as a handful of
+hand-picked examples:
+
+* **event-heap ordering** — callbacks execute in nondecreasing
+  ``(time, priority)`` order with scheduling order as the tie-break,
+  regardless of entry shape (bare fast-path tuples vs. Event records)
+  and insertion order;
+* **sliding-window counts** — the O(1) bucketized ring buffer brackets
+  a naive exact oracle: it never under-counts the true window and
+  never over-counts beyond one extra bucket of history;
+* **solver equality** — the memoized/warm-started
+  :class:`~repro.core.queueing.solver.SizingSolver` and the vectorised
+  fast path agree *exactly* with the reference Algorithm 1 on random
+  ``(λ, μ, c, t, p)`` draws.
+
+All properties run with ``derandomize=True``: hypothesis derives its
+examples from the test name alone, so CI failures are reproducible and
+the suite stays deterministic run-to-run.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimation.sliding_window import SlidingWindowCounter
+from repro.core.queueing.sizing import required_containers, required_containers_fast
+from repro.core.queueing.solver import SizingQuery, SizingSolver
+from repro.sim.engine import SimulationEngine
+
+#: Shared hypothesis profile: deterministic examples, no wall-clock deadline
+#: (CI hosts are noisy; these properties are CPU-bound, not flaky).
+PROPERTY_SETTINGS = settings(max_examples=60, deadline=None, derandomize=True)
+
+
+# ----------------------------------------------------------------------
+# Event-heap ordering
+# ----------------------------------------------------------------------
+@PROPERTY_SETTINGS
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            st.sampled_from([SimulationEngine.PRIORITY_DATA,
+                             SimulationEngine.PRIORITY_FAULT,
+                             SimulationEngine.PRIORITY_CONTROL]),
+            st.booleans(),  # True: bare call_later entry, False: Event record
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_event_heap_executes_in_time_priority_schedule_order(entries):
+    """Execution order is the stable sort of (time, priority, schedule seq)."""
+    engine = SimulationEngine()
+    executed = []
+    for index, (delay, priority, bare) in enumerate(entries):
+        if bare:
+            engine.call_later(delay, executed.append, index, priority=priority)
+        else:
+            engine.schedule(delay, executed.append, index, priority=priority)
+    engine.run()
+
+    assert sorted(executed) == list(range(len(entries)))
+    keys = [(entries[i][0], entries[i][1], i) for i in executed]
+    assert keys == sorted(keys), "events fired out of (time, priority, seq) order"
+
+
+@PROPERTY_SETTINGS
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=50.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=40,
+    ),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=40),
+)
+def test_event_heap_cancellation_skips_exactly_the_cancelled(delays, cancel_mask):
+    """Cancelled events never fire and are counted as cancelled, not processed."""
+    engine = SimulationEngine()
+    fired = []
+    events = [engine.schedule(delay, fired.append, i) for i, delay in enumerate(delays)]
+    cancelled = set()
+    for i, (event, cancel) in enumerate(zip(events, cancel_mask)):
+        if cancel:
+            event.cancel()
+            cancelled.add(i)
+    engine.run()
+    assert set(fired) == set(range(len(delays))) - cancelled
+    assert engine.events_cancelled == len(cancelled & set(range(len(delays))))
+
+
+# ----------------------------------------------------------------------
+# Sliding-window counts vs. a naive oracle
+# ----------------------------------------------------------------------
+def _naive_count(timestamps, now, window):
+    """The exact trailing-window oracle: events in (now - window, now]."""
+    return sum(1 for t in timestamps if now - window < t <= now)
+
+
+@PROPERTY_SETTINGS
+@given(
+    deltas=st.lists(
+        st.floats(min_value=0.0, max_value=7.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=80,
+    ),
+    window=st.floats(min_value=1.0, max_value=60.0,
+                     allow_nan=False, allow_infinity=False),
+    query_gap=st.floats(min_value=0.0, max_value=30.0,
+                        allow_nan=False, allow_infinity=False),
+)
+def test_sliding_window_brackets_the_exact_oracle(deltas, window, query_gap):
+    """Bucketized count ∈ [exact window, exact window + one bucket of history].
+
+    The documented contract (see the module docstring of
+    ``repro.core.estimation.sliding_window``): bucket-granularity
+    eviction may include the oldest partially-overlapping bucket, so an
+    unaligned query over-approximates by at most one bucket — and never
+    under-counts, which would delay burst detection.
+    """
+    counter = SlidingWindowCounter(window)
+    timestamps = []
+    now = 0.0
+    for delta in deltas:
+        now += delta
+        counter.record(now)
+        timestamps.append(now)
+    query_time = now + query_gap
+
+    got = counter.count(query_time)
+    exact = _naive_count(timestamps, query_time, window)
+    padded = _naive_count(timestamps, query_time, window + counter.bucket_width)
+    assert exact <= got <= padded, (
+        f"window count {got} outside [{exact}, {padded}] "
+        f"(window={window}, bucket={counter.bucket_width})"
+    )
+
+
+@PROPERTY_SETTINGS
+@given(
+    deltas=st.lists(
+        st.floats(min_value=0.0, max_value=4.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=60,
+    ),
+    window=st.sampled_from([10.0, 30.0, 120.0]),
+)
+def test_sliding_window_aligned_queries_are_exact(deltas, window):
+    """Queries on bucket boundaries (the controller's cadence) match the oracle.
+
+    Alignment is exact up to events lying on a boundary themselves: a
+    bucket-edge event is retired with its whole bucket, so the oracle is
+    evaluated on the half-open bucket span the ring actually keeps.
+    """
+    counter = SlidingWindowCounter(window)
+    bucket = counter.bucket_width
+    timestamps = []
+    now = 0.0
+    for delta in deltas:
+        now += delta
+        counter.record(now)
+        timestamps.append(now)
+    # the next bucket boundary at or after the last event
+    query_time = math.ceil(now / bucket) * bucket
+    got = counter.count(query_time)
+    # buckets fully inside the window: (query - window, query], snapped to
+    # the bucket grid the ring keeps (left edge exclusive)
+    left = math.floor((query_time - window) / bucket) * bucket
+    exact = sum(1 for t in timestamps if left < t <= query_time)
+    assert got == exact
+
+
+# ----------------------------------------------------------------------
+# Solver vs. reference sizing equality
+# ----------------------------------------------------------------------
+_LAM = st.floats(min_value=0.05, max_value=400.0,
+                 allow_nan=False, allow_infinity=False)
+_MU = st.floats(min_value=0.2, max_value=50.0,
+                allow_nan=False, allow_infinity=False)
+_BUDGET = st.floats(min_value=0.005, max_value=2.0,
+                    allow_nan=False, allow_infinity=False)
+_PERCENTILE = st.floats(min_value=0.5, max_value=0.995,
+                        allow_nan=False, allow_infinity=False)
+_CURRENT = st.integers(min_value=0, max_value=50)
+
+
+@PROPERTY_SETTINGS
+@given(lam=_LAM, mu=_MU, budget=_BUDGET, percentile=_PERCENTILE, current=_CURRENT)
+def test_fast_sizing_equals_reference_on_random_draws(lam, mu, budget,
+                                                      percentile, current):
+    """The vectorised fast path returns the reference container count exactly."""
+    reference = required_containers(lam, mu, budget, percentile,
+                                    current_containers=current)
+    fast = required_containers_fast(lam, mu, budget, percentile,
+                                    current_containers=current)
+    assert fast.containers == reference.containers
+    assert fast.achieved_probability >= percentile
+
+
+@PROPERTY_SETTINGS
+@given(
+    draws=st.lists(
+        st.tuples(_LAM, _MU, _BUDGET, _PERCENTILE),
+        min_size=1, max_size=12,
+    )
+)
+def test_memoized_warm_started_solver_equals_reference_in_batches(draws):
+    """SizingSolver (cache + warm starts + batching) ≡ reference, per draw.
+
+    The warm-start slots are keyed per function; feeding each key a
+    random *sequence* of draws exercises the drift/jump re-anchoring
+    logic, and the batch API exercises the lockstep cold-search ladder.
+    """
+    solver = SizingSolver(cache_size=1024, warm_start=True)
+    # sequential per-key solves (warm-start path)
+    for index, (lam, mu, budget, percentile) in enumerate(draws):
+        key = f"fn-{index % 3}"
+        got = solver.solve(lam, mu, budget, percentile, key=key)
+        want = required_containers(lam, mu, budget, percentile)
+        assert got.containers == want.containers, (lam, mu, budget, percentile)
+    # one batched call over all draws (duplicates dedupe internally)
+    queries = [
+        SizingQuery(lam=lam, mu=mu, wait_budget=budget, percentile=percentile,
+                    current_containers=0, key=f"fn-{i % 3}")
+        for i, (lam, mu, budget, percentile) in enumerate(draws)
+    ]
+    batched = solver.solve_batch(queries)
+    for (lam, mu, budget, percentile), result in zip(draws, batched):
+        want = required_containers(lam, mu, budget, percentile)
+        assert result.containers == want.containers
