@@ -88,6 +88,18 @@ def main() -> None:
     fig9 = run_fig9(duration_minutes=10 if quick else 30)
     print(format_fig9(fig9))
 
+    banner("Figure 10 — node-failure recovery (fault injection)")
+    from repro.experiments.fig10_recovery import format_fig10, run_fig10
+
+    total = 180.0 if quick else 360.0
+    print(format_fig10(run_fig10(fail_at=total / 3, recover_at=2 * total / 3,
+                                 duration=total)))
+
+    banner("Figure 11 — control-plane policy shootout (healthy + faulted)")
+    from repro.experiments.fig11_policies import format_fig11, run_fig11
+
+    print(format_fig11(run_fig11(duration=120.0 if quick else 360.0)))
+
     print(f"\nTotal runtime: {time.time() - started:.0f} s")
 
 

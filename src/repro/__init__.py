@@ -26,9 +26,16 @@ True
 
 from repro.cluster.cluster import ClusterConfig, EdgeCluster, FunctionDeployment
 from repro.core.controller import ControllerConfig, LassController, ReclamationPolicy
+from repro.core.policy import (
+    ControlPolicy,
+    PolicyContext,
+    build_policy,
+    policy_names,
+    register_policy,
+)
 from repro.simulation import SimulationResult, SimulationRunner, run_fixed_allocation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusterConfig",
@@ -37,6 +44,11 @@ __all__ = [
     "ControllerConfig",
     "LassController",
     "ReclamationPolicy",
+    "ControlPolicy",
+    "PolicyContext",
+    "build_policy",
+    "policy_names",
+    "register_policy",
     "SimulationRunner",
     "SimulationResult",
     "run_fixed_allocation",

@@ -1,21 +1,20 @@
-"""Baseline controllers LaSS is compared against.
+"""Deprecated shim: the baseline controllers moved to :mod:`repro.policies`.
 
-* :mod:`repro.baselines.openwhisk` — the vanilla OpenWhisk behaviour the
-  paper compares against in §6.6: a sharding-pool load balancer that
-  packs containers onto invokers by memory only (ignoring CPU) and
-  prefers to keep each function on its own "home" invoker.  Under the
-  overload scenario this over-packs a node, makes it unresponsive, and
-  cascades the failure to the remaining invokers.
-* :mod:`repro.baselines.static_allocation` — a fixed per-function
-  container allocation with no autoscaling.
-* :mod:`repro.baselines.reactive` — a Knative-style concurrency-targeted
-  reactive autoscaler, used in ablation benchmarks as a model-free
-  alternative to LaSS's queueing model.
+Since the unified control-plane policy refactor, every controller —
+LaSS and the baselines alike — is a registry-registered
+:class:`~repro.core.policy.ControlPolicy` living under
+:mod:`repro.policies`, runnable through ``kind="simulate"`` scenarios
+via ``ControllerSpec(policy=...)``.
+
+This package re-exports the original names so existing specs, tests,
+and user code keep working.  **Deprecated**: new code should import
+from :mod:`repro.policies` (or better, go through the policy registry
+instead of constructing controllers by hand).
 """
 
-from repro.baselines.openwhisk import VanillaOpenWhiskController, OpenWhiskConfig
-from repro.baselines.static_allocation import StaticAllocationController
-from repro.baselines.reactive import ConcurrencyAutoscaler, ReactiveControllerConfig
+from repro.policies.openwhisk import VanillaOpenWhiskController, OpenWhiskConfig
+from repro.policies.static_allocation import StaticAllocationController
+from repro.policies.reactive import ConcurrencyAutoscaler, ReactiveControllerConfig
 
 __all__ = [
     "VanillaOpenWhiskController",

@@ -1,168 +1,11 @@
-"""Concurrency-targeted reactive autoscaler (Knative-style baseline).
+"""Deprecated shim: moved to :mod:`repro.policies.reactive`.
 
-This is the model-free alternative LaSS's queueing model is implicitly
-compared against: instead of solving for the container count that meets
-a waiting-time percentile, the reactive scaler keeps the observed
-per-container concurrency near a target.  It reuses LaSS's data path
-(WRR dispatch) but replaces the sizing model, which makes it a clean
-ablation of the paper's "model-driven" contribution.
+The Knative-style reactive autoscaler is now a registry-registered
+control policy (``policy="reactive"``).  This module re-exports the
+original names for backwards compatibility; new code should import from
+:mod:`repro.policies.reactive` or use the policy registry.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Dict, List, Optional
-
-import math
-
-from repro.cluster.cluster import EdgeCluster
-from repro.cluster.container import Container, ContainerState
-from repro.core.dispatch import SharedQueueDispatcher
-from repro.metrics.collector import EpochSnapshot, FunctionEpochStats, MetricsCollector
-from repro.sim.engine import SimulationEngine
-from repro.sim.request import Request
-
-
-@dataclass
-class ReactiveControllerConfig:
-    """Parameters of the concurrency autoscaler."""
-
-    #: desired average in-flight requests per container
-    target_concurrency: float = 1.0
-    #: how often the scaler evaluates (seconds)
-    evaluation_interval: float = 5.0
-    #: smoothing factor for the observed concurrency
-    smoothing: float = 0.6
-    #: never exceed this many containers per function
-    max_containers: int = 1000
-
-    def __post_init__(self) -> None:
-        """Validate the configuration parameters."""
-        if self.target_concurrency <= 0:
-            raise ValueError("target_concurrency must be positive")
-        if self.evaluation_interval <= 0:
-            raise ValueError("evaluation_interval must be positive")
-        if not 0 < self.smoothing <= 1:
-            raise ValueError("smoothing must be in (0, 1]")
-
-
-class ConcurrencyAutoscaler:
-    """Reactive controller: scale to ``ceil(concurrency / target)`` containers."""
-
-    def __init__(
-        self,
-        engine: SimulationEngine,
-        cluster: EdgeCluster,
-        config: Optional[ReactiveControllerConfig] = None,
-        metrics: Optional[MetricsCollector] = None,
-    ) -> None:
-        """Wire the autoscaler to the engine, cluster, and metrics sink."""
-        self.engine = engine
-        self.cluster = cluster
-        self.config = config or ReactiveControllerConfig()
-        self.metrics = metrics or MetricsCollector()
-        self.dispatcher = SharedQueueDispatcher(engine, on_complete=self._on_request_complete)
-        self._smoothed_concurrency: Dict[str, float] = {}
-        self._started = False
-        cluster.on_container_warm(self._on_container_warm)
-
-    def start(self) -> None:
-        """Begin the periodic evaluation loop."""
-        if self._started:
-            return
-        self._started = True
-        self.engine.schedule(
-            self.config.evaluation_interval, self._evaluate,
-            priority=SimulationEngine.PRIORITY_CONTROL,
-        )
-
-    # ------------------------------------------------------------------
-    # Data path (same WRR dispatch as LaSS)
-    # ------------------------------------------------------------------
-    def dispatch(self, request: Request) -> None:
-        """Route a request to an idle container or queue it; cold-start the first container."""
-        self.metrics.record_request(request)
-        containers = self.cluster.warm_containers_of(request.function_name)
-        started = self.dispatcher.submit(request, containers)
-        if not started and not self.cluster.containers_of(request.function_name):
-            self._create(request.function_name, 1)
-
-    def _on_container_warm(self, container: Container) -> None:
-        """A container finished cold start: drain queued requests onto it."""
-        self.dispatcher.drain(
-            container.function_name,
-            self.cluster.warm_containers_of(container.function_name),
-        )
-
-    def _on_request_complete(self, request: Request, container: Container) -> None:
-        """Completion callback: record the completion in the metrics."""
-        self.metrics.record_completion(request)
-
-    # ------------------------------------------------------------------
-    # Control loop
-    # ------------------------------------------------------------------
-    def _evaluate(self) -> None:
-        """One evaluation step: compare observed concurrency to the target and scale."""
-        for deployment in self.cluster.deployments:
-            name = deployment.name
-            live = self.cluster.containers_of(name, include_draining=False)
-            in_flight = sum(c.in_flight for c in live) + self.dispatcher.queue_length(name)
-            previous = self._smoothed_concurrency.get(name, float(in_flight))
-            smoothed = (
-                self.config.smoothing * in_flight + (1 - self.config.smoothing) * previous
-            )
-            self._smoothed_concurrency[name] = smoothed
-            desired = min(
-                self.config.max_containers,
-                max(0, math.ceil(smoothed / self.config.target_concurrency)),
-            )
-            if desired > len(live):
-                self._create(name, desired - len(live))
-            elif desired < len(live):
-                victims = sorted(live, key=lambda c: c.in_flight)[: len(live) - desired]
-                for victim in victims:
-                    if victim.in_flight == 0:
-                        self.cluster.terminate_container(victim.container_id)
-                        self.metrics.increment("terminations")
-        self._snapshot()
-        self.engine.schedule(
-            self.config.evaluation_interval, self._evaluate,
-            priority=SimulationEngine.PRIORITY_CONTROL,
-        )
-
-    def _create(self, name: str, count: int) -> None:
-        """Create up to ``count`` new containers, capacity permitting."""
-        for _ in range(count):
-            node = self.cluster.find_node_for(
-                self.cluster.deployment(name).cpu, self.cluster.deployment(name).memory_mb
-            )
-            if node is None:
-                return
-            self.cluster.create_container(name, node=node)
-            self.metrics.increment("creations")
-
-    def _snapshot(self) -> None:
-        """Record a per-function epoch snapshot for the timeline metrics."""
-        functions: Dict[str, FunctionEpochStats] = {}
-        for deployment in self.cluster.deployments:
-            live = self.cluster.containers_of(deployment.name)
-            functions[deployment.name] = FunctionEpochStats(
-                function_name=deployment.name,
-                containers=len(live),
-                cpu=sum(c.current_cpu for c in live),
-                desired_containers=len(live),
-                arrival_rate_estimate=self._smoothed_concurrency.get(deployment.name, 0.0),
-                service_rate_estimate=0.0,
-            )
-        self.metrics.record_epoch(
-            EpochSnapshot(
-                time=self.engine.now,
-                overloaded=False,
-                total_cpu=self.cluster.total_cpu,
-                allocated_cpu=self.cluster.cpu_allocated,
-                functions=functions,
-            )
-        )
-
+from repro.policies.reactive import ConcurrencyAutoscaler, ReactiveControllerConfig
 
 __all__ = ["ConcurrencyAutoscaler", "ReactiveControllerConfig"]

@@ -1,109 +1,11 @@
-"""Static allocation baseline: fixed containers per function, no autoscaling.
+"""Deprecated shim: moved to :mod:`repro.policies.static_allocation`.
 
-Useful as the lower bound in ablation benchmarks: it shows what happens
-when capacity is provisioned once (e.g. for the mean load) and the
-workload then fluctuates — exactly the situation the paper's
-model-driven autoscaler exists to avoid.
+The static-allocation baseline is now a registry-registered control
+policy (``policy="static"``).  This module re-exports the original
+names for backwards compatibility; new code should import from
+:mod:`repro.policies.static_allocation` or use the policy registry.
 """
 
-from __future__ import annotations
-
-from typing import Dict, Mapping, Optional
-
-from repro.cluster.cluster import EdgeCluster
-from repro.cluster.container import Container
-from repro.core.dispatch import SharedQueueDispatcher
-from repro.metrics.collector import EpochSnapshot, FunctionEpochStats, MetricsCollector
-from repro.sim.engine import SimulationEngine
-from repro.sim.request import Request
-
-
-class StaticAllocationController:
-    """Dispatches with WRR over a fixed, pre-created container allocation.
-
-    Parameters
-    ----------
-    allocations:
-        Function name → number of standard containers to create at start-up.
-    """
-
-    def __init__(
-        self,
-        engine: SimulationEngine,
-        cluster: EdgeCluster,
-        allocations: Mapping[str, int],
-        metrics: Optional[MetricsCollector] = None,
-        snapshot_interval: float = 10.0,
-    ) -> None:
-        """Wire the controller to the engine, cluster, and metrics sink."""
-        self.engine = engine
-        self.cluster = cluster
-        self.allocations = {name: int(count) for name, count in allocations.items()}
-        if any(count < 0 for count in self.allocations.values()):
-            raise ValueError("allocations must be non-negative")
-        self.metrics = metrics or MetricsCollector()
-        self.dispatcher = SharedQueueDispatcher(engine, on_complete=self._on_request_complete)
-        self.snapshot_interval = float(snapshot_interval)
-        self._started = False
-        cluster.on_container_warm(self._on_container_warm)
-
-    def start(self) -> None:
-        """Create the fixed allocation and begin periodic snapshotting."""
-        if self._started:
-            return
-        self._started = True
-        for name, count in self.allocations.items():
-            for _ in range(count):
-                self.cluster.create_container(name)
-                self.metrics.increment("creations")
-        self.engine.schedule(
-            self.snapshot_interval, self._snapshot_tick,
-            priority=SimulationEngine.PRIORITY_CONTROL,
-        )
-
-    def dispatch(self, request: Request) -> None:
-        """Route one request to an idle container or queue it (shared FCFS queue)."""
-        self.metrics.record_request(request)
-        containers = self.cluster.warm_containers_of(request.function_name)
-        self.dispatcher.submit(request, containers)
-
-    def _on_container_warm(self, container: Container) -> None:
-        """A container finished cold start: drain queued requests onto it."""
-        self.dispatcher.drain(
-            container.function_name,
-            self.cluster.warm_containers_of(container.function_name),
-        )
-
-    def _on_request_complete(self, request: Request, container: Container) -> None:
-        """Completion callback: record the completion in the metrics."""
-        self.metrics.record_completion(request)
-
-    def _snapshot_tick(self) -> None:
-        """Record a per-function epoch snapshot for the timeline metrics."""
-        functions: Dict[str, FunctionEpochStats] = {}
-        for deployment in self.cluster.deployments:
-            live = self.cluster.containers_of(deployment.name)
-            functions[deployment.name] = FunctionEpochStats(
-                function_name=deployment.name,
-                containers=len(live),
-                cpu=sum(c.current_cpu for c in live),
-                desired_containers=self.allocations.get(deployment.name, 0),
-                arrival_rate_estimate=0.0,
-                service_rate_estimate=0.0,
-            )
-        self.metrics.record_epoch(
-            EpochSnapshot(
-                time=self.engine.now,
-                overloaded=False,
-                total_cpu=self.cluster.total_cpu,
-                allocated_cpu=self.cluster.cpu_allocated,
-                functions=functions,
-            )
-        )
-        self.engine.schedule(
-            self.snapshot_interval, self._snapshot_tick,
-            priority=SimulationEngine.PRIORITY_CONTROL,
-        )
-
+from repro.policies.static_allocation import StaticAllocationController
 
 __all__ = ["StaticAllocationController"]

@@ -18,6 +18,10 @@ Commands
     so ``--help`` can never drift from what is actually registered.
 ``functions``
     List the Table 1 function catalogue.
+``policies``
+    List the registered control-plane policies (every controller —
+    LaSS and the baselines — is a registry entry usable as
+    ``controller.policy`` in a scenario, or via ``simulate --policy``).
 ``scenario``
     Run one scenario — a registered name (``python -m repro scenario
     --list``) or a ``spec.json`` file — and emit the unified results
@@ -64,21 +68,45 @@ def _cmd_functions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_policies(args: argparse.Namespace) -> int:
+    """Print the registered control-plane policies."""
+    from repro.core.policy import describe_policies
+
+    for name, summary in describe_policies():
+        print(f"{name:<12} {summary}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    """Simulate one function under LaSS and print its SLO outcome."""
+    """Simulate one function under a chosen policy and print its SLO outcome."""
+    import json as _json
+
     from repro import ClusterConfig, ControllerConfig, ReclamationPolicy, SimulationRunner
     from repro.workloads import StaticRate, WorkloadBinding, get_function
 
     function = get_function(args.function)
-    runner = SimulationRunner(
-        workloads=[WorkloadBinding(function, StaticRate(args.rate, duration=args.duration),
-                                   slo_deadline=args.slo)],
-        cluster_config=ClusterConfig(node_count=args.nodes, cpu_per_node=args.cpu_per_node),
-        controller_config=ControllerConfig(
-            reclamation=ReclamationPolicy(args.reclamation),
-        ),
-        seed=args.seed,
-    )
+    # handler-validated like the experiment verb: bad policy names, bad
+    # JSON, and bad params exit 2 with a message, not a traceback
+    try:
+        policy_params = _json.loads(args.policy_params) if args.policy_params else None
+    except _json.JSONDecodeError as error:
+        print(f"--policy-params is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    try:
+        runner = SimulationRunner(
+            workloads=[WorkloadBinding(function, StaticRate(args.rate, duration=args.duration),
+                                       slo_deadline=args.slo)],
+            cluster_config=ClusterConfig(node_count=args.nodes, cpu_per_node=args.cpu_per_node),
+            controller_config=ControllerConfig(
+                reclamation=ReclamationPolicy(args.reclamation),
+            ),
+            seed=args.seed,
+            policy=args.policy,
+            policy_params=policy_params,
+        )
+    except (KeyError, ValueError) as error:
+        print(_error_text(error), file=sys.stderr)
+        return 2
     result = runner.run(duration=args.duration)
     # exclude the start-up transient (first cold start + initial scale-up)
     # from the SLO accounting, like the experiment harnesses do
@@ -87,7 +115,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     slo = result.slo({function.name: args.slo}, warmup=warmup)[function.name]
     _, containers = result.container_timeline(function.name)
     print(f"function            : {function.name}")
-    print(f"completed requests  : {result.metrics.counters['completions']}")
+    print(f"policy              : {args.policy}")
+    print(f"completed requests  : {result.metrics.counters.get('completions', 0)}")
     print(f"final allocation    : {containers[-1] if containers else 0} containers")
     print(f"mean / P95 / P99 wait: {summary.mean * 1000:.1f} / {summary.p95 * 1000:.1f} / "
           f"{summary.p99 * 1000:.1f} ms")
@@ -237,7 +266,12 @@ def build_parser() -> argparse.ArgumentParser:
     functions = sub.add_parser("functions", help="list the Table 1 function catalogue")
     functions.set_defaults(func=_cmd_functions)
 
-    simulate = sub.add_parser("simulate", help="simulate one function under LaSS")
+    policies = sub.add_parser("policies",
+                              help="list the registered control-plane policies")
+    policies.set_defaults(func=_cmd_policies)
+
+    simulate = sub.add_parser("simulate",
+                              help="simulate one function under a control-plane policy")
     simulate.add_argument("--function", default="squeezenet")
     simulate.add_argument("--rate", type=float, default=20.0)
     simulate.add_argument("--slo", type=float, default=0.1)
@@ -246,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--cpu-per-node", type=float, default=4.0)
     simulate.add_argument("--reclamation", choices=["termination", "deflation"],
                           default="deflation")
+    simulate.add_argument("--policy", default="lass",
+                          help="control-plane policy name (see 'policies')")
+    simulate.add_argument("--policy-params", default=None,
+                          help="policy-specific configuration as a JSON object")
     simulate.add_argument("--seed", type=int, default=1)
     simulate.set_defaults(func=_cmd_simulate)
 

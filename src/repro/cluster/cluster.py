@@ -13,6 +13,7 @@ is immediate.  All timing flows through the shared
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -114,6 +115,14 @@ class EdgeCluster:
             raise ValueError("cluster must have at least one node")
         self._deployments: Dict[str, FunctionDeployment] = {}
         self._containers: Dict[str, Container] = {}
+        #: per-cluster container id sequence.  Ids must NOT come from the
+        #: process-global counter: container-id strings are dispatch/victim
+        #: sort tie-breaks, so ids that depended on how many containers
+        #: *earlier runs in the same process* created would make sweep
+        #: shard results depend on worker placement (breaking the
+        #: workers=1 ≡ workers=N byte-identity guarantee).  Every cluster
+        #: numbering from c0 makes a run a pure function of its spec.
+        self._container_seq = itertools.count()
         #: per-function index of live containers so hot paths never scan
         #: the whole cluster (terminated containers are removed eagerly)
         self._by_function: Dict[str, Dict[str, Container]] = {}
@@ -315,6 +324,7 @@ class EdgeCluster:
             memory_mb=dep.memory_mb,
             speed_of_cpu=dep.speed_of_cpu,
             created_at=self.engine.now,
+            container_id=f"c{next(self._container_seq)}",
         )
         if cpu < dep.cpu:
             container.deflate_to(cpu)

@@ -18,8 +18,28 @@ Sub-packages
 ``controller``
     The epoch loop tying everything together, equivalent to the LaSS
     module added to the OpenWhisk controller in the prototype (§5).
+``policy``
+    The :class:`ControlPolicy` contract + registry that make every
+    controller — LaSS and the baselines under :mod:`repro.policies` —
+    a pluggable control plane.
 """
 
 from repro.core.controller import LassController, ControllerConfig, ReclamationPolicy
+from repro.core.policy import (
+    ControlPolicy,
+    PolicyContext,
+    build_policy,
+    policy_names,
+    register_policy,
+)
 
-__all__ = ["LassController", "ControllerConfig", "ReclamationPolicy"]
+__all__ = [
+    "LassController",
+    "ControllerConfig",
+    "ReclamationPolicy",
+    "ControlPolicy",
+    "PolicyContext",
+    "build_policy",
+    "policy_names",
+    "register_policy",
+]

@@ -45,6 +45,7 @@ from repro.core.allocation.reclamation import (
     TerminateAction,
     TerminationPolicy,
 )
+from repro.core.policy import ControlPolicy
 from repro.core.estimation.ewma import EwmaEstimator
 from repro.core.estimation.service_time import OnlineServiceTimeEstimator, ServiceTimeProfile
 from repro.core.estimation.sliding_window import DualWindowRateEstimator
@@ -128,8 +129,13 @@ class _FunctionState:
     arrivals_this_epoch: int = 0
 
 
-class LassController:
+class LassController(ControlPolicy):
     """The LaSS control plane for one edge cluster.
+
+    Registered as the ``"lass"`` entry of the control-plane policy
+    registry (:mod:`repro.core.policy`); the baselines conform to the
+    same :class:`~repro.core.policy.ControlPolicy` contract, so any of
+    them can replace this controller in a scenario.
 
     Parameters
     ----------
@@ -150,6 +156,8 @@ class LassController:
         Fallback μ per function (req/s on a standard container) used before
         any profile or online observation is available.
     """
+
+    name = "lass"
 
     def __init__(
         self,

@@ -30,8 +30,9 @@ bypasses the dispatcher (tests submitting to containers directly) can
 never corrupt a dispatch, only leave a stale entry to be discarded.
 
 The explicit ``containers=[...]`` calling convention of the seed API is
-still supported for callers that manage their own container lists (the
-baseline controllers and unit tests).
+still supported for callers that manage their own container lists
+(unit tests and ad-hoc harnesses; every built-in control-plane policy
+now attaches to the cluster and uses the incremental index).
 """
 
 from __future__ import annotations

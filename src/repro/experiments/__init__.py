@@ -24,9 +24,11 @@ the paper's numbers.
 | Figure 8       | :mod:`repro.experiments.fig8_reclamation` |
 | Figure 9       | :mod:`repro.experiments.fig9_azure` |
 | Figure 10*     | :mod:`repro.experiments.fig10_recovery` |
+| Figure 11*     | :mod:`repro.experiments.fig11_policies` |
 
-(*) Figure 10 is this reproduction's own extension — node-failure
-recovery under fault injection — not a figure of the source paper.
+(*) Figures 10 and 11 are this reproduction's own extensions — node
+failure recovery under fault injection, and the control-plane policy
+shootout — not figures of the source paper.
 """
 
 from typing import Callable, Dict, Optional
@@ -40,6 +42,7 @@ from repro.experiments.fig7_deflation import run_fig7, Fig7Point
 from repro.experiments.fig8_reclamation import run_fig8, Fig8Result
 from repro.experiments.fig9_azure import run_fig9, Fig9Result
 from repro.experiments.fig10_recovery import run_fig10, Fig10Result
+from repro.experiments.fig11_policies import run_fig11, Fig11Result
 
 
 def _render_table1(duration: Optional[float]) -> str:
@@ -111,6 +114,17 @@ def _render_fig10(duration: Optional[float]) -> str:
                                   duration=total))
 
 
+def _render_fig11(duration: Optional[float]) -> str:
+    """Figure 11 policy-shootout table (control planes head-to-head).
+
+    ``duration`` scales the whole timeline; the faulted arms lose node-0
+    for the middle third of the run, like Figure 10.
+    """
+    from repro.experiments.fig11_policies import format_fig11
+
+    return format_fig11(run_fig11(duration=duration or 360.0))
+
+
 #: Text renderer per paper experiment, keyed by scenario-registry name.
 RENDERERS: Dict[str, Callable[[Optional[float]], str]] = {
     "table1": _render_table1,
@@ -122,6 +136,7 @@ RENDERERS: Dict[str, Callable[[Optional[float]], str]] = {
     "fig8": _render_fig8,
     "fig9": _render_fig9,
     "fig10": _render_fig10,
+    "fig11": _render_fig11,
 }
 
 
@@ -163,4 +178,6 @@ __all__ = [
     "Fig9Result",
     "run_fig10",
     "Fig10Result",
+    "run_fig11",
+    "Fig11Result",
 ]

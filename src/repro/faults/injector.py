@@ -14,11 +14,13 @@ through every layer:
 * **dispatcher** — a crash-on-dispatch interceptor at the dispatcher's
   single choke point fails the dispatched request and evicts the
   container with probability ``crash_probability``;
-* **controller** — every fault is reported through
-  :meth:`~repro.core.controller.LassController.on_node_failed` /
-  ``on_node_recovered`` / ``on_container_crashed``, which requeue
-  salvaged work, start an immediate reactive re-provisioning pass, and
-  suppress voluntary reclamation for the configured grace window;
+* **controller** — every fault is reported through the control-plane
+  policy contract (:class:`~repro.core.policy.ControlPolicy`):
+  ``on_node_failed`` / ``on_node_recovered`` / ``on_container_crashed``.
+  Under LaSS these requeue salvaged work, start an immediate reactive
+  re-provisioning pass, and suppress voluntary reclamation for the
+  configured grace window; every registered policy implements its own
+  reaction (the conformance tests pin that the hooks fire for all);
 * **metrics** — availability, failed/requeued request counts, and
   per-failure recovery times accumulate in an
   :class:`~repro.metrics.availability.AvailabilityTracker` plus the run
@@ -40,7 +42,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.cluster.cluster import EdgeCluster
 from repro.cluster.container import Container, ContainerState
-from repro.core.controller import LassController
+from repro.core.policy import ControlPolicy
 from repro.faults.spec import FaultSpec, NodeFailureSpec
 from repro.metrics.availability import AvailabilityTracker, RecoveryRecord
 from repro.metrics.collector import MetricsCollector
@@ -70,7 +72,7 @@ class FaultInjector:
         self,
         engine: SimulationEngine,
         cluster: EdgeCluster,
-        controller: LassController,
+        controller: ControlPolicy,
         metrics: MetricsCollector,
         rng: RngStreams,
         spec: FaultSpec,
@@ -102,7 +104,7 @@ class FaultInjector:
             self._crash_rng = rng.stream("faults:crash")
             self._crash_functions = (set(spec.crash_functions)
                                      if spec.crash_functions is not None else None)
-            controller.dispatcher.interceptor = self._intercept_dispatch
+            controller.set_dispatch_interceptor(self._intercept_dispatch)
 
         if spec.cold_start is not None:
             cluster.cold_start_sampler = spec.cold_start.build(

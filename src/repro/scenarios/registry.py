@@ -5,10 +5,11 @@ Each entry is a builder that returns a fully-validated
 :class:`~repro.scenarios.sweep.SweepSpec`.  The nine paper experiments
 (``table1``, ``fig3`` … ``fig9``) are registered here — the modules
 under :mod:`repro.experiments` are thin renderers over these specs —
-alongside this reproduction's own ``fig10`` fault-injection recovery
-experiment, the fault/recovery scenarios, and the ``examples/``
-workloads, so ``python -m repro scenario fig3`` and a user-supplied
-``spec.json`` go through exactly the same machinery.
+alongside this reproduction's own extensions (``fig10``, the
+fault-injection recovery experiment, and ``fig11``/``policy-shootout``,
+the control-plane policy comparison), the fault/recovery scenarios, and
+the ``examples/`` workloads, so ``python -m repro scenario fig3`` and a
+user-supplied ``spec.json`` go through exactly the same machinery.
 
 Builders accept keyword overrides for their experiment's traditional
 knobs (durations, seeds, grids), defaulting to the paper configuration.
@@ -112,7 +113,7 @@ def names(tag: Optional[str] = None) -> List[str]:
 
 
 def experiment_names() -> List[str]:
-    """The experiments (``table1``, ``fig3`` … ``fig10``), sorted."""
+    """The experiments (``table1``, ``fig3`` … ``fig11``), sorted."""
     return names(tag="paper")
 
 
@@ -667,6 +668,122 @@ def _fig10(rate: float = 20.0, fail_at: float = 120.0,
 
 
 # ----------------------------------------------------------------------
+# Policy shootout / Figure 11: every control plane on the same workload
+# ----------------------------------------------------------------------
+#: The policies compared head-to-head (every registered control plane
+#: that can serve an open workload; ``noop`` is excluded — with nothing
+#: provisioning containers it measures the queue, not a control plane).
+SHOOTOUT_POLICIES: Tuple[str, ...] = ("lass", "hybrid", "reactive", "static", "openwhisk")
+
+
+def _shootout_sweep(name: str, duration: float, seed: int,
+                    policies: Tuple[str, ...], include_faulted: bool,
+                    fail_at: Optional[float] = None,
+                    recover_at: Optional[float] = None) -> SweepSpec:
+    """The policy head-to-head: one workload, one arm per (policy, fault) pair.
+
+    Two functions with different sizes keep packing and fair share
+    non-trivial (geofence is small and fast, SqueezeNet big and slow).
+    Every arm shares the base seed (``seed_mode="base"``), so all
+    policies face identical arrival randomness and — in the faulted
+    arms — the identical node-outage schedule; the ``static`` arm's
+    allocation is solved from the same M/M/c model LaSS uses, making it
+    the "provision once for this exact load" operator.  (The openwhisk
+    arm replays the arrival stream with its historical interleaved work
+    draws — see ``PolicyDescriptor.legacy_workload_rng``.)
+    """
+    from repro.core.queueing.sizing import required_containers
+    from repro.workloads.functions import get_function
+
+    workloads = (
+        WorkloadSpec(
+            function="geofence",
+            schedule=ScheduleSpec.static(rate=30.0, duration=duration),
+            slo_deadline=0.1,
+        ),
+        WorkloadSpec(
+            function="squeezenet",
+            schedule=ScheduleSpec.static(rate=10.0, duration=duration),
+            slo_deadline=0.2,
+        ),
+    )
+    base = ScenarioSpec(
+        name=name,
+        kind="simulate",
+        description="Two functions at steady load; every control-plane policy "
+                    "serves the identical workload, healthy and through a "
+                    "mid-run node outage",
+        workloads=workloads,
+        duration=duration,
+        warmup=30.0,
+        seed=seed,
+        metrics=("waiting", "slo", "utilization", "counters", "timeline", "generated"),
+    )
+    # the static arm provisions what the model says this exact load needs
+    allocations: Dict[str, int] = {}
+    for workload in workloads:
+        profile = get_function(workload.function)
+        allocations[workload.function] = required_containers(
+            lam=float(workload.schedule.params["rate"]),
+            mu=profile.service_rate,
+            wait_budget=workload.slo_deadline,
+            percentile=0.95,
+        ).containers
+    fail_at = fail_at if fail_at is not None else duration / 3
+    recover_at = recover_at if recover_at is not None else 2 * duration / 3
+    faults = FaultSpec(
+        node_failures=(NodeFailureSpec("node-0", fail_at, recover_at),)
+    ).to_dict()
+    points: List[Dict[str, Any]] = []
+    for policy in policies:
+        point: Dict[str, Any] = {"name": f"{name}-{policy}",
+                                 "controller.policy": policy}
+        if policy == "static":
+            point["controller.policy_params"] = {"allocations": allocations}
+        points.append(point)
+        if include_faulted:
+            faulted = dict(point, name=f"{name}-{policy}-faulted")
+            faulted["faults"] = faults
+            points.append(faulted)
+    return SweepSpec(
+        name=name,
+        base=base,
+        points=tuple(points),
+        seed_mode="base",  # every policy faces identical workload randomness
+        description="Control-plane policy comparison on identical seeds "
+                    "and fault schedules",
+    )
+
+
+@register("policy-shootout",
+          "Every control-plane policy head-to-head on one workload "
+          "(healthy + node-outage arms)",
+          tags=("example", "policies"))
+def _policy_shootout(duration: float = 300.0, seed: int = 42,
+                     policies: Sequence[str] = SHOOTOUT_POLICIES,
+                     include_faulted: bool = True) -> SweepSpec:
+    """The registered policy-shootout sweep (see :func:`_shootout_sweep`)."""
+    return _shootout_sweep("policy-shootout", duration, seed,
+                           tuple(policies), include_faulted)
+
+
+@register("fig11", "Figure 11: LaSS vs the baseline policies, healthy and "
+                   "under a node outage (identical seeds)",
+          tags=("paper",))
+def _fig11(duration: float = 360.0, seed: int = 11,
+           policies: Sequence[str] = SHOOTOUT_POLICIES) -> SweepSpec:
+    """The policy-comparison experiment (this reproduction's own extension).
+
+    Same design as the Figure 8/9/10 comparisons: ``seed_mode="base"``
+    replays identical randomness in every arm, so differences between
+    policies (and between each policy's healthy and faulted arm) are
+    caused by the control plane and the outage alone.
+    """
+    return _shootout_sweep("fig11", duration, seed, tuple(policies),
+                           include_faulted=True)
+
+
+# ----------------------------------------------------------------------
 # Example workloads (examples/*.py expressed as scenarios)
 # ----------------------------------------------------------------------
 @register("quickstart", "One SqueezeNet function under LaSS at a constant 20 req/s",
@@ -753,6 +870,7 @@ def _azure_replay(duration_minutes: int = 15, seed: int = 9,
 
 __all__ = [
     "FIG7_FUNCTIONS",
+    "SHOOTOUT_POLICIES",
     "FIG9_SLO_DEADLINES",
     "FIG9_USER_ASSIGNMENT",
     "FIG9_USER_WEIGHTS",

@@ -25,7 +25,8 @@ Results schema (``repro/scenario-result@1``)
       },
       "allocation": {...}      # kind="fixed" only: resolved container plan
       "rows": [...]            # table-like kinds (sizing/deflation/catalogue)
-      "openwhisk": {...}       # kind="openwhisk" only: invoker failures
+      "openwhisk": {...}       # openwhisk policy (or the kind alias) only:
+                               # invoker failures (ControlPolicy.results_extra)
       "faults": {...}          # only when the spec carries a FaultSpec:
                                # availability, failed/requeued requests,
                                # per-failure recovery times
@@ -117,7 +118,9 @@ def _collect_metrics(spec: ScenarioSpec, result, controller=None) -> Dict[str, A
                 for p in series
             ]
         metrics["timeline"] = timeline
-    if "guaranteed_cpu" in wanted and controller is not None:
+    if ("guaranteed_cpu" in wanted and controller is not None
+            and hasattr(controller, "guaranteed_cpu_shares")):
+        # only fair-share policies (LaSS) expose guaranteed shares
         metrics["guaranteed_cpu"] = dict(controller.guaranteed_cpu_shares())
     return metrics
 
@@ -133,7 +136,14 @@ def _envelope(spec: ScenarioSpec, **extra: Any) -> Dict[str, Any]:
 # kind = "simulate"
 # ----------------------------------------------------------------------
 def _run_simulate(spec: ScenarioSpec) -> ScenarioOutcome:
-    """Full controller-driven run through :class:`SimulationRunner`."""
+    """Full controller-driven run through :class:`SimulationRunner`.
+
+    The control plane is whatever registered policy the spec names
+    (``spec.controller.policy``, default LaSS); every policy sees the
+    same workloads, cluster, seed, and fault schedule.  Policies may
+    contribute an extra results group (``ControlPolicy.results_extra``)
+    — the OpenWhisk policy's invoker-failure report arrives this way.
+    """
     from repro.core.allocation.hierarchy import SchedulingTree
     from repro.simulation import SimulationRunner
 
@@ -150,9 +160,21 @@ def _run_simulate(spec: ScenarioSpec) -> ScenarioOutcome:
         seed=spec.seed,
         warm_start_containers=dict(spec.warm_start) or None,
         fault_spec=spec.faults,
+        policy=spec.controller.policy,
+        policy_params=dict(spec.controller.policy_params),
     )
+    if "guaranteed_cpu" in spec.metrics and not hasattr(runner.policy, "guaranteed_cpu_shares"):
+        # fail fast instead of silently omitting the requested group
+        raise ValueError(
+            f"metric 'guaranteed_cpu' requires a fair-share policy; "
+            f"policy {spec.controller.policy!r} does not expose guaranteed CPU shares"
+        )
     result = runner.run(duration=spec.duration, extra_drain=spec.extra_drain)
-    data = _envelope(spec, metrics=_collect_metrics(spec, result, runner.controller))
+    data = _envelope(spec, metrics=_collect_metrics(spec, result, runner.policy))
+    extra = runner.policy.results_extra()
+    if extra is not None:
+        group, payload = extra
+        data[group] = payload
     if runner.fault_injector is not None:
         # present exactly when the (normalised) spec carries faults, so a
         # faults-disabled run stays byte-identical to the healthy scenario
@@ -251,54 +273,29 @@ def _run_fixed(spec: ScenarioSpec) -> ScenarioOutcome:
 # kind = "openwhisk"
 # ----------------------------------------------------------------------
 def _run_openwhisk(spec: ScenarioSpec) -> ScenarioOutcome:
-    """The vanilla-OpenWhisk baseline on the scenario's workloads (Figure 8c)."""
-    from repro.baselines.openwhisk import OpenWhiskConfig, VanillaOpenWhiskController
-    from repro.cluster.cluster import EdgeCluster
-    from repro.metrics.collector import MetricsCollector
-    from repro.sim.engine import SimulationEngine
-    from repro.sim.rng import RngStreams
-    from repro.workloads.generator import ArrivalGenerator
+    """Alias executor: fold ``kind="openwhisk"`` into simulate + policy.
 
-    bindings = [w.build() for w in spec.workloads]
-    engine = SimulationEngine()
-    rng = RngStreams(spec.seed)
-    cluster = EdgeCluster(engine, spec.cluster.build() if spec.cluster is not None else None)
-    metrics = MetricsCollector()
-    for binding in bindings:
-        cluster.deploy(
-            binding.profile.to_deployment(
-                weight=binding.weight, user=binding.user, slo_deadline=binding.slo_deadline
-            )
-        )
-    controller = VanillaOpenWhiskController(engine, cluster, OpenWhiskConfig(), metrics)
-    controller.start()
-    generators = []
-    for binding in bindings:
-        generator = ArrivalGenerator(
-            engine=engine,
-            profile=binding.profile,
-            schedule=binding.schedule,
-            dispatch=controller.dispatch,
-            rng=rng.stream(f"arrivals:{binding.profile.name}"),
-            slo_deadline=binding.slo_deadline,
-            horizon=spec.duration,
-        )
-        generator.start()
-        generators.append(generator)
-    engine.run(until=spec.duration + spec.extra_drain)
-    counters = metrics.counters
-    data = _envelope(
+    The alias is kept for backwards compatibility; it rewrites the spec
+    to ``kind="simulate"`` with ``controller.policy="openwhisk"`` and
+    runs the unified executor.  Two normalisations keep the output
+    byte-identical to the historical bespoke harness: metrics are
+    reduced to the counters group (all the old harness ever reported)
+    and ``warm_start`` is cleared (the old harness ignored it).  The
+    results envelope echoes the *original* alias spec.
+    """
+    import dataclasses
+
+    folded = dataclasses.replace(
         spec,
-        metrics={"counters": dict(counters)},
-        openwhisk={
-            "failed_invokers": len(controller.failed_nodes()),
-            "all_invokers_failed": controller.all_invokers_failed,
-            "completions": counters.get("completions", 0),
-            "arrivals": counters.get("arrivals", 0),
-            "drops": counters.get("drops", 0) + counters.get("stranded_requests", 0),
-        },
+        kind="simulate",
+        controller=dataclasses.replace(spec.controller, policy="openwhisk"),
+        metrics=("counters",),
+        warm_start={},
     )
-    return ScenarioOutcome(spec=spec, data=data, sim=None)
+    outcome = _run_simulate(folded)
+    data = dict(outcome.data)
+    data["scenario"] = spec.to_dict()
+    return ScenarioOutcome(spec=spec, data=data, sim=outcome.sim)
 
 
 # ----------------------------------------------------------------------

@@ -13,8 +13,11 @@ Scenario kinds
 --------------
 ``simulate``
     A full controller-driven run (:class:`~repro.simulation.SimulationRunner`):
-    workloads → dispatch → containers with the LaSS epoch loop scaling
-    the allocation.  This is the kind user-defined scenarios normally use.
+    workloads → dispatch → containers under the scenario's control-plane
+    policy (``controller.policy``, default the LaSS epoch loop; any
+    registered policy — ``openwhisk``, ``reactive``, ``static``,
+    ``hybrid``, ``noop``, or a third-party registration — drops in).
+    This is the kind user-defined scenarios normally use.
 ``fixed``
     A single function against a *fixed* container allocation
     (:func:`~repro.simulation.run_fixed_allocation`), with the container
@@ -22,8 +25,11 @@ Scenario kinds
     run time.  The model-validation experiments (Figures 3 and 4) are
     sweeps of this kind.
 ``openwhisk``
-    The same data path driven by the vanilla-OpenWhisk baseline
-    controller instead of LaSS (the third arm of Figure 8).
+    Backwards-compatible alias for ``simulate`` with
+    ``controller.policy="openwhisk"`` (the third arm of Figure 8).  The
+    runner folds it into the simulate executor; its results envelope —
+    counters plus the ``openwhisk`` invoker-failure group — is
+    byte-identical to the historical bespoke harness.
 ``sizing_benchmark``
     No simulation: time the container-sizing implementations against
     each other (Figure 5).
@@ -318,12 +324,22 @@ class ClusterSpec:
 
 @dataclass(frozen=True)
 class ControllerSpec:
-    """Serializable view of :class:`~repro.core.controller.ControllerConfig`.
+    """Serializable view of the scenario's control plane.
 
-    ``reclamation`` is stored as the policy's string value
+    ``policy`` names the registered control-plane policy to run
+    (see :mod:`repro.core.policy`; default ``"lass"``) and
+    ``policy_params`` carries its policy-specific configuration —
+    both validated eagerly at spec construction, so a typo'd policy
+    or parameter set fails before any shard runs.  The remaining
+    fields mirror :class:`~repro.core.controller.ControllerConfig`
+    (consumed by the LaSS policy; other policies read only the shared
+    knobs they care about and take the rest from ``policy_params``).
+    ``reclamation`` is stored as the reclamation policy's string value
     (``"termination"`` / ``"deflation"``) so specs stay plain JSON.
     """
 
+    policy: str = "lass"
+    policy_params: Mapping[str, Any] = field(default_factory=dict)
     epoch_length: float = 10.0
     rate_sample_interval: float = 5.0
     long_window: float = 120.0
@@ -343,18 +359,40 @@ class ControllerSpec:
     sizing_warm_start: bool = True
 
     def __post_init__(self) -> None:
-        """Validate the reclamation policy name."""
+        """Validate the reclamation + control-plane policy names and params."""
+        from repro.core.policy import validate_policy
+
         ReclamationPolicy(self.reclamation)  # validates the policy name
+        object.__setattr__(self, "policy_params", _freeze(dict(self.policy_params)))
+        validate_policy(self.policy, self.policy_params)
 
     def build(self) -> ControllerConfig:
-        """Instantiate the live :class:`ControllerConfig`."""
+        """Instantiate the live :class:`ControllerConfig` (LaSS's knobs)."""
         kwargs = dataclasses.asdict(self)
+        kwargs.pop("policy")
+        kwargs.pop("policy_params")
         kwargs["reclamation"] = ReclamationPolicy(kwargs["reclamation"])
         return ControllerConfig(**kwargs)
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict (JSON-ready) view."""
-        return dataclasses.asdict(self)
+        """Plain-dict (JSON-ready) view.
+
+        The ``policy`` / ``policy_params`` fields are serialised only
+        when non-default, so every pre-policy spec — and therefore every
+        results envelope that echoes one — keeps its exact historical
+        bytes.  ``from_dict`` fills the defaults back in, and sweep
+        overrides may still create the two paths explicitly (they are
+        whitelisted in :func:`repro.scenarios.sweep.apply_overrides`).
+        """
+        data = dataclasses.asdict(self)
+        params = _thaw(dict(self.policy_params))
+        if self.policy == "lass":
+            data.pop("policy")
+        if params:
+            data["policy_params"] = params
+        else:
+            data.pop("policy_params")
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ControllerSpec":
@@ -518,6 +556,13 @@ class ScenarioSpec:
         unknown = [m for m in self.metrics if m not in KNOWN_METRICS]
         if unknown:
             raise ValueError(f"unknown metrics {unknown}; valid: {KNOWN_METRICS}")
+        if self.kind == "openwhisk" and self.controller.policy not in ("lass", "openwhisk"):
+            # the alias always runs the openwhisk policy; naming another
+            # one is a contradiction ("lass" — the default — means unset)
+            raise ValueError(
+                f"kind 'openwhisk' cannot run policy {self.controller.policy!r}; "
+                "use kind 'simulate' with controller.policy instead"
+            )
         if self.faults is not None:
             if self.faults.is_empty():
                 # normalise: an empty schedule IS the healthy scenario, and

@@ -54,6 +54,15 @@ def derive_shard_seed(base_seed: int, overrides: Mapping[str, Any]) -> int:
     return _stable_hash(text) % (2**31 - 1)
 
 
+#: Paths ``apply_overrides`` may *create*: these fields are omitted from
+#: the serialised spec when they hold their defaults (to keep pre-policy
+#: envelopes byte-identical), yet sweeps must be able to set them.
+_CREATABLE_OVERRIDE_PATHS = frozenset({
+    "controller.policy",
+    "controller.policy_params",
+})
+
+
 def apply_overrides(spec: ScenarioSpec, overrides: Mapping[str, Any]) -> ScenarioSpec:
     """Apply dotted-path overrides to a spec, returning a re-validated copy.
 
@@ -64,7 +73,9 @@ def apply_overrides(spec: ScenarioSpec, overrides: Mapping[str, Any]) -> Scenari
     must already exist in the spec's dict form: the serialised spec
     always carries its full key set, so a missing key is a typo'd path,
     and silently inserting it would make the override a no-op
-    (``from_dict`` ignores unknown keys).
+    (``from_dict`` ignores unknown keys).  The only exceptions are the
+    :data:`_CREATABLE_OVERRIDE_PATHS` — fields deliberately omitted from
+    the dict form at their defaults, which ``from_dict`` understands.
     """
     data = spec.to_dict()
     for path, value in overrides.items():
@@ -78,7 +89,9 @@ def apply_overrides(spec: ScenarioSpec, overrides: Mapping[str, Any]) -> Scenari
                 node[int(last)]  # noqa: B018 - existence check before assignment
                 node[int(last)] = value
             else:
-                if not isinstance(node, dict) or last not in node:
+                if not isinstance(node, dict) or (
+                    last not in node and path not in _CREATABLE_OVERRIDE_PATHS
+                ):
                     raise KeyError(last)
                 node[last] = value
         except (KeyError, IndexError, TypeError) as error:

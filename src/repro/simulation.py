@@ -18,10 +18,11 @@ This is the main entry point for examples and experiments::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.cluster.cluster import ClusterConfig, EdgeCluster
-from repro.core.controller import ControllerConfig, LassController
+from repro.core.controller import ControllerConfig
+from repro.core.policy import ControlPolicy, PolicyContext, build_policy, get_policy
 from repro.core.estimation.service_time import ServiceTimeProfile
 from repro.core.allocation.hierarchy import SchedulingTree
 from repro.faults.injector import FaultInjector
@@ -36,11 +37,17 @@ from repro.workloads.generator import ArrivalGenerator, WorkloadBinding
 
 @dataclass
 class SimulationResult:
-    """Everything a finished run exposes for analysis."""
+    """Everything a finished run exposes for analysis.
+
+    ``controller`` is the run's control-plane policy — a
+    :class:`~repro.core.controller.LassController` by default, or
+    whichever registered :class:`~repro.core.policy.ControlPolicy` the
+    runner was asked for.
+    """
 
     metrics: MetricsCollector
     cluster: EdgeCluster
-    controller: LassController
+    controller: ControlPolicy
     duration: float
     generated_requests: Dict[str, int] = field(default_factory=dict)
 
@@ -107,6 +114,17 @@ class SimulationRunner:
         crash-on-dispatch, and cold-start latency distributions, all
         deterministic under the run's master seed.  ``None`` (or an
         empty spec) leaves the healthy event stream byte-identical.
+    policy:
+        The control plane to run: a registered policy name
+        (``"lass"`` — the default — ``"openwhisk"``, ``"reactive"``,
+        ``"static"``, ``"hybrid"``, ``"noop"``, or anything third-party
+        code registered) or a callable ``factory(context) ->
+        ControlPolicy`` for ad-hoc policies.  Every policy sees the same
+        workloads, cluster, seed, and fault schedule.
+    policy_params:
+        Policy-specific configuration forwarded to the registered
+        factory (e.g. ``{"allocations": {...}}`` for ``"static"``).
+        LaSS takes none — it is configured through ``controller_config``.
     """
 
     def __init__(
@@ -121,6 +139,8 @@ class SimulationRunner:
         arrival_batch_size: int = 256,
         metrics: Optional[MetricsCollector] = None,
         fault_spec: Optional["FaultSpec"] = None,
+        policy: Union[str, Callable[[PolicyContext], ControlPolicy]] = "lass",
+        policy_params: Optional[Mapping[str, Any]] = None,
     ) -> None:
         """Build the engine, cluster, controller, and arrival generators (see the class docstring for parameter semantics)."""
         if not workloads:
@@ -151,15 +171,28 @@ class SimulationRunner:
             if use_offline_profiles:
                 profiles[binding.profile.name] = binding.profile.to_service_profile()
 
-        self.controller = LassController(
+        context = PolicyContext(
             engine=self.engine,
             cluster=self.cluster,
+            metrics=self.metrics,
             config=controller_config or ControllerConfig(),
             scheduling_tree=scheduling_tree,
-            metrics=self.metrics,
             service_profiles=profiles,
             default_service_rates=default_rates,
         )
+        legacy_workload_rng = False
+        if isinstance(policy, str):
+            descriptor = get_policy(policy)
+            legacy_workload_rng = descriptor.legacy_workload_rng
+            self.policy: ControlPolicy = descriptor.factory(
+                context, dict(policy_params or {})
+            )
+        else:
+            if policy_params:
+                raise ValueError("policy_params require a registered policy name")
+            self.policy = policy(context)
+        #: backwards-compatible alias — the policy IS the controller
+        self.controller = self.policy
 
         self.generators: List[ArrivalGenerator] = []
         for binding in self.bindings:
@@ -167,11 +200,16 @@ class SimulationRunner:
                 engine=self.engine,
                 profile=binding.profile,
                 schedule=binding.schedule,
-                dispatch=self.controller.dispatch,
+                dispatch=self.policy.dispatch,
                 rng=self.rng.stream(f"arrivals:{binding.profile.name}"),
                 slo_deadline=binding.slo_deadline,
                 batch_size=arrival_batch_size,
-                work_rng=self.rng.stream(f"work:{binding.profile.name}"),
+                # the openwhisk policy keeps the historical wiring (work
+                # interleaved with arrivals) so the kind="openwhisk"
+                # scenario alias stays byte-identical to its pre-policy
+                # output; every other policy gets the dedicated stream
+                work_rng=(None if legacy_workload_rng
+                          else self.rng.stream(f"work:{binding.profile.name}")),
             )
             self.generators.append(generator)
 
@@ -182,7 +220,7 @@ class SimulationRunner:
             self.fault_injector = FaultInjector(
                 engine=self.engine,
                 cluster=self.cluster,
-                controller=self.controller,
+                controller=self.policy,
                 metrics=self.metrics,
                 rng=self.rng,
                 spec=fault_spec,
@@ -220,7 +258,7 @@ class SimulationRunner:
         if duration <= 0:
             raise ValueError("duration must be positive")
         self.prewarm()
-        self.controller.start()
+        self.policy.start()
         for generator in self.generators:
             if generator.horizon is None or generator.horizon > duration:
                 generator.horizon = duration
@@ -277,14 +315,11 @@ def run_fixed_allocation(
     )
     cluster.deploy(deployment)
 
-    controller = LassController(
-        engine=engine,
-        cluster=cluster,
-        # an epoch longer than the experiment disables autoscaling entirely
-        config=ControllerConfig(epoch_length=duration * 10, online_learning=False),
-        metrics=metrics,
-        service_profiles={binding.profile.name: binding.profile.to_service_profile()},
-        default_service_rates={binding.profile.name: binding.profile.service_rate},
+    # the explicit no-control-loop policy: pure WRR dispatch over the
+    # fixed fleet (replaces the historical disabled-LassController trick,
+    # with a byte-identical event stream)
+    policy = build_policy(
+        "noop", PolicyContext(engine=engine, cluster=cluster, metrics=metrics)
     )
 
     for _ in range(containers):
@@ -302,7 +337,7 @@ def run_fixed_allocation(
         engine=engine,
         profile=binding.profile,
         schedule=binding.schedule,
-        dispatch=controller.dispatch,
+        dispatch=policy.dispatch,
         rng=rng.stream(f"arrivals:{binding.profile.name}"),
         slo_deadline=binding.slo_deadline,
         horizon=duration,
@@ -313,7 +348,7 @@ def run_fixed_allocation(
     return SimulationResult(
         metrics=metrics,
         cluster=cluster,
-        controller=controller,
+        controller=policy,
         duration=duration,
         generated_requests={binding.profile.name: generator.generated},
     )

@@ -124,6 +124,24 @@ class TestCli:
         assert code == 0
         assert "SLO attainment" in output
 
+    def test_policies_command(self, capsys):
+        code = main(["policies"])
+        output = capsys.readouterr().out
+        assert code == 0
+        for name in ("lass", "openwhisk", "reactive", "static", "hybrid", "noop"):
+            assert name in output
+
+    def test_simulate_command_with_policy(self, capsys):
+        code = main([
+            "simulate", "--function", "squeezenet", "--rate", "10",
+            "--duration", "60", "--slo", "0.2", "--seed", "3",
+            "--policy", "static",
+            "--policy-params", '{"allocations": {"squeezenet": 3}}',
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "policy              : static" in output
+
     def test_size_command_rejects_missing_args(self):
         with pytest.raises(SystemExit):
             main(["size", "--rate", "30"])

@@ -107,7 +107,9 @@ class TestSerialization:
 class TestRegistry:
     def test_every_paper_artefact_has_a_spec(self):
         expected = {"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-                    "fig10"}  # fig10 is the repo's own recovery extension
+                    # fig10 (recovery) and fig11 (policy shootout) are the
+                    # repo's own extensions
+                    "fig10", "fig11"}
         assert set(experiment_names()) == expected
 
     def test_renderers_cover_exactly_the_registered_experiments(self):
