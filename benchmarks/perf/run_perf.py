@@ -269,7 +269,10 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     document = run_all(quick=args.quick, repeats=args.repeats)
-    Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+    # atomic replace: an interrupted run never leaves a truncated BENCH file
+    from repro.ioutil import atomic_write_text
+
+    atomic_write_text(str(args.output), json.dumps(document, indent=2) + "\n")
     for row in document["benchmarks"]:
         speed = row.get("speedup")
         speed_text = f"  ({speed:.2f}x vs {row.get('baseline_source', '?')})" if speed else ""

@@ -28,8 +28,12 @@ Commands
     JSON (schema ``repro/scenario-result@1``).
 ``sweep``
     Expand a parameter sweep (registered name or ``sweep.json``) and run
-    its shards, optionally across ``--workers`` processes; the results
-    JSON is byte-identical regardless of the worker count.
+    its shards under the fault-tolerant executor — optionally across
+    ``--workers`` processes, with per-shard ``--retries`` and
+    ``--timeout``, a crash-safe ``--journal``, and ``--resume`` from a
+    previous interrupted run.  The results JSON is byte-identical
+    regardless of the worker count, and an interrupted-then-resumed run
+    matches an uninterrupted one byte-for-byte.
 """
 
 from __future__ import annotations
@@ -174,7 +178,13 @@ def _load_spec_argument(argument: str, expect: str):
 
 
 def _emit_json(payload, output: Optional[str], pretty: bool) -> None:
-    """Write results JSON to stdout or ``output`` (canonical unless pretty)."""
+    """Write results JSON to stdout or ``output`` (canonical unless pretty).
+
+    File output goes through :func:`repro.ioutil.atomic_write_text`
+    (write-temp-then-replace), so an interrupt mid-write can never leave
+    a truncated, valid-looking results file.
+    """
+    from repro.ioutil import atomic_write_text
     from repro.scenarios.spec import canonical_json
 
     if pretty:
@@ -184,8 +194,7 @@ def _emit_json(payload, output: Optional[str], pretty: bool) -> None:
     if output is None or output == "-":
         print(text)
     else:
-        with open(output, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+        atomic_write_text(output, text + "\n")
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
@@ -200,24 +209,45 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if args.spec is None:
         print("a scenario name or spec.json path is required (see --list)", file=sys.stderr)
         return 2
+    from repro.scenarios.executor import ShardError
+
     try:
         spec = _load_spec_argument(args.spec, expect="scenario")
         if isinstance(spec, SweepSpec):
             payload = SweepRunner(spec, workers=1).run()
         else:
             payload = run_scenario(spec).data
-    except (KeyError, ValueError, OSError) as error:
+    except (KeyError, ValueError, OSError, ShardError) as error:
         print(_error_text(error), file=sys.stderr)
         return 2
     _emit_json(payload, args.output, args.pretty)
     return 0
 
 
+def _sigterm_as_interrupt(signum, frame) -> None:
+    """SIGTERM handler: convert to KeyboardInterrupt for clean teardown.
+
+    The executor's cleanup path (terminate live workers, close the
+    journal) runs on KeyboardInterrupt, so a SIGTERM'd sweep leaves a
+    parseable journal and no partial output file — the same guarantees
+    Ctrl-C gets.
+    """
+    raise KeyboardInterrupt
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    """Expand and run a sweep across ``--workers`` processes; emit results JSON."""
+    """Expand and run a sweep with the fault-tolerant executor; emit results JSON.
+
+    Exit codes: 0 = every shard ok; 1 = completed but degraded (the
+    envelope carries ``incomplete`` and per-shard ``status``); 2 = usage
+    or spec errors; 130 = interrupted (journal intact, no output file).
+    """
+    import signal
+
     from repro.scenarios import describe, get_entry
+    from repro.scenarios.executor import ResilientSweepRunner
     from repro.scenarios.spec import ScenarioSpec
-    from repro.scenarios.sweep import SweepRunner, SweepSpec
+    from repro.scenarios.sweep import SweepSpec
 
     if args.list:
         for name, tags, summary in describe():
@@ -230,17 +260,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.spec is None:
         print("a sweep name or sweep.json path is required (see --list)", file=sys.stderr)
         return 2
+    if args.resume and not args.journal:
+        print("--resume requires --journal PATH", file=sys.stderr)
+        return 2
     try:
         spec = _load_spec_argument(args.spec, expect="sweep")
         if isinstance(spec, ScenarioSpec):
             print(f"{args.spec!r} is a single scenario, not a sweep; "
                   f"use 'python -m repro scenario'", file=sys.stderr)
             return 2
-        payload = SweepRunner(spec, workers=args.workers).run()
+        runner = ResilientSweepRunner(
+            spec,
+            workers=args.workers,
+            retries=args.retries,
+            timeout=args.timeout,
+            backoff_base=args.backoff_base,
+            journal=args.journal,
+            resume=args.resume,
+            on_failure="continue",
+        )
     except (KeyError, ValueError, OSError) as error:
         print(_error_text(error), file=sys.stderr)
         return 2
+    previous_sigterm = signal.signal(signal.SIGTERM, _sigterm_as_interrupt)
+    try:
+        payload = runner.run()
+    except KeyboardInterrupt:
+        where = f"; journal intact at {args.journal!r} (resume with --resume)" \
+            if args.journal else ""
+        print(f"sweep interrupted{where}", file=sys.stderr)
+        return 130
+    except (KeyError, ValueError, OSError) as error:
+        print(_error_text(error), file=sys.stderr)
+        return 2
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
     _emit_json(payload, args.output, args.pretty)
+    if payload.get("incomplete"):
+        failed = [r for r in payload["results"] if r.get("status") != "ok"]
+        print(f"sweep degraded: {len(failed)}/{len(payload['results'])} "
+              f"shard(s) did not complete (see per-shard 'status'/'error')",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -318,8 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep", help="expand and run a parameter sweep, optionally in parallel",
-        description="Expand a sweep's parameter grid and run every shard. "
-                    "Results are byte-identical for any --workers value.",
+        description="Expand a sweep's parameter grid and run every shard "
+                    "under the fault-tolerant executor (per-shard retries, "
+                    "timeouts, journaling, resume). Results are "
+                    "byte-identical for any --workers value, and an "
+                    "interrupted-then-resumed run matches an uninterrupted "
+                    "one byte-for-byte.",
     )
     sweep.add_argument("spec", nargs="?", default=None,
                        help="registered sweep name or path to a sweep.json")
@@ -328,9 +393,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", "-j", type=int, default=1,
                        help="worker processes (default 1 = serial)")
     sweep.add_argument("--output", "-o", default=None,
-                       help="write results JSON to this file ('-' = stdout)")
+                       help="write results JSON to this file ('-' = stdout); "
+                            "written atomically (temp file + rename)")
     sweep.add_argument("--pretty", action="store_true",
                        help="indent the JSON output (default: canonical bytes)")
+    sweep.add_argument("--journal", default=None, metavar="PATH",
+                       help="append shard lifecycle records (JSONL) to PATH "
+                            "with fsync'd writes; enables --resume")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip shards whose 'ok' journal record matches "
+                            "the current spec hash; recompute the rest")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="extra attempts per shard after a failure/timeout "
+                            "(default 0); retries never change result bytes")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-shard wall-clock budget; an overrunning "
+                            "worker is killed and the attempt retried")
+    sweep.add_argument("--backoff-base", type=float, default=0.5, metavar="SECONDS",
+                       help="base delay of the capped exponential retry "
+                            "backoff (default 0.5; jitter is deterministic "
+                            "from the shard seed)")
     sweep.set_defaults(func=_cmd_sweep)
 
     return parser

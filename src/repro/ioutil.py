@@ -1,0 +1,67 @@
+"""Crash-safe filesystem helpers shared by every artifact writer.
+
+Two durability primitives back the execution layer's robustness story:
+
+:func:`atomic_write_text`
+    Whole-file replacement via write-temp-then-``os.replace``.  Readers
+    either see the previous complete file or the new complete file —
+    never a truncated hybrid — because ``os.replace`` is atomic on POSIX
+    (and on Windows for same-volume renames).  The temp file is fsync'd
+    before the rename so a crash immediately after the replace cannot
+    surface a zero-length file.  Every results-envelope and BENCH JSON
+    write in the repository goes through this helper.
+
+:func:`fsync_append_line`
+    Durable line-append for journals: write one ``\\n``-terminated line,
+    flush, ``os.fsync``.  A crash mid-write can tear at most the final
+    line, which journal readers tolerate (see
+    :mod:`repro.scenarios.journal`).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import IO
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomically write ``text`` to ``path`` (write temp + fsync + replace).
+
+    The temporary file is created in ``path``'s directory so the final
+    ``os.replace`` never crosses a filesystem boundary.  On any failure
+    the temp file is removed and the original ``path`` (if it existed)
+    is left untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+
+
+def fsync_append_line(handle: IO[str], line: str) -> None:
+    """Append one line to an open text handle durably (write, flush, fsync).
+
+    ``line`` must not contain embedded newlines; the terminating ``\\n``
+    is added here so callers cannot forget it.
+    """
+    if "\n" in line:
+        raise ValueError("journal lines must not contain embedded newlines")
+    handle.write(line + "\n")
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+__all__ = ["atomic_write_text", "fsync_append_line"]

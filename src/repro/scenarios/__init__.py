@@ -7,8 +7,12 @@ cluster, controller, metrics, seed) and round-trips through JSON; the
 example workload as such specs; :func:`~repro.scenarios.runner.run_scenario`
 executes any spec into a unified results schema; and
 :class:`~repro.scenarios.sweep.SweepRunner` expands parameter grids and
-runs the shards across a process pool with results byte-identical to a
-serial run.
+runs the shards across worker processes with results byte-identical to
+a serial run.  The crash-safe execution layer underneath —
+:class:`~repro.scenarios.executor.ResilientSweepRunner` plus
+:class:`~repro.scenarios.journal.RunJournal` — adds per-shard retries,
+timeouts, dead-worker respawn, fsync'd lifecycle journaling, and
+resume-from-journal with the same byte-identity guarantee.
 
 Typical use::
 
@@ -20,6 +24,13 @@ Typical use::
     results = SweepRunner(build("fig3"), workers=4).run()   # a registered sweep
 """
 
+from repro.scenarios.executor import (
+    ResilientSweepRunner,
+    RetryPolicy,
+    ShardError,
+    backoff_delay,
+)
+from repro.scenarios.journal import JOURNAL_SCHEMA, RunJournal, shard_spec_hash
 from repro.scenarios.registry import (
     build,
     describe,
@@ -52,11 +63,18 @@ from repro.scenarios.sweep import (
 )
 
 __all__ = [
+    "JOURNAL_SCHEMA",
     "SCENARIO_SCHEMA",
     "SWEEP_RESULT_SCHEMA",
     "SWEEP_SCHEMA",
     "RESULT_SCHEMA",
     "AllocationSpec",
+    "ResilientSweepRunner",
+    "RetryPolicy",
+    "RunJournal",
+    "ShardError",
+    "backoff_delay",
+    "shard_spec_hash",
     "ClusterSpec",
     "ControllerSpec",
     "ScenarioOutcome",

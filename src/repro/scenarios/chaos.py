@@ -1,0 +1,140 @@
+"""Self-chaos: an env-gated fault hook inside the sweep worker entry point.
+
+PR 4 gave the *simulated* cluster a fault injector; this module aims the
+same idea at the harness itself.  When the ``REPRO_CHAOS`` environment
+variable holds a JSON :class:`ChaosConfig`, every shard attempt first
+passes through :func:`maybe_inject`, which can
+
+* **kill** the worker process with ``SIGKILL`` (exercising the
+  executor's dead-worker detection and respawn),
+* **poison** the attempt with a deterministic exception (exercising
+  retry, backoff, and graceful degradation), or
+* **delay** the attempt by a fixed wall-clock sleep (exercising
+  per-shard timeouts and mid-sweep interruption windows).
+
+Determinism
+-----------
+Chaos draws come from SHA-256 of ``(seed, fault kind, spec hash,
+attempt)`` — no global RNG state, no wall clock — so a chaos run is
+exactly reproducible: the same config faults the same shards on the
+same attempts regardless of worker count or scheduling.  By default
+faults only fire on attempts ``<= max_attempt`` (1), so a retried shard
+is guaranteed to recover; raise ``max_attempt`` to model permanently
+broken shards and exercise the degradation path instead.
+
+The hook is inert (a dict lookup miss) unless ``REPRO_CHAOS`` is set,
+so production sweeps pay nothing for it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+#: Environment variable carrying the JSON chaos configuration.
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+class ChaosPoison(RuntimeError):
+    """The deterministic exception an injected "poison" fault raises."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed chaos configuration (all probabilities in ``[0, 1]``)."""
+
+    kill_probability: float = 0.0
+    poison_probability: float = 0.0
+    delay_probability: float = 0.0
+    delay_seconds: float = 0.0
+    max_attempt: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate probability ranges and the attempt gate."""
+        for name in ("kill_probability", "poison_probability", "delay_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"chaos {name} must be in [0, 1], got {value!r}")
+        if self.delay_seconds < 0:
+            raise ValueError("chaos delay_seconds must be >= 0")
+        if self.max_attempt < 0:
+            raise ValueError("chaos max_attempt must be >= 0")
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "ChaosConfig":
+        """Build a config from a plain dict (unknown keys rejected)."""
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - set of names
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown chaos config keys: {sorted(unknown)}")
+        return cls(**{k: data[k] for k in data})
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosConfig"]:
+        """The active config from ``REPRO_CHAOS``, or None when unset/empty."""
+        raw = os.environ.get(CHAOS_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{CHAOS_ENV} is not valid JSON: {error}") from None
+        if not isinstance(data, dict):
+            raise ValueError(f"{CHAOS_ENV} must hold a JSON object")
+        return cls.from_mapping(data)
+
+    def to_json(self) -> str:
+        """JSON text suitable for the ``REPRO_CHAOS`` environment variable."""
+        return json.dumps({
+            "kill_probability": self.kill_probability,
+            "poison_probability": self.poison_probability,
+            "delay_probability": self.delay_probability,
+            "delay_seconds": self.delay_seconds,
+            "max_attempt": self.max_attempt,
+            "seed": self.seed,
+        })
+
+
+def chaos_draw(seed: int, kind: str, spec_hash: str, attempt: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one (fault, shard, attempt).
+
+    Keyed on the chaos seed, the fault kind, the shard's spec hash, and
+    the attempt number — so each fault type draws independently, and
+    retries re-draw (letting probabilistic faults clear on retry even
+    when ``max_attempt`` allows them).
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{kind}:{spec_hash}:{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def maybe_inject(spec_hash: str, attempt: int, allow_kill: bool = True,
+                 config: Optional[ChaosConfig] = None) -> None:
+    """Apply the active chaos config (if any) to one shard attempt.
+
+    Called at the top of every shard attempt.  ``allow_kill`` is False
+    on the in-process (``workers=1``) path, where a SIGKILL would take
+    down the coordinator rather than a worker; kill faults are simply
+    skipped there (poison and delay still apply).
+    """
+    cfg = config if config is not None else ChaosConfig.from_env()
+    if cfg is None or attempt > cfg.max_attempt:
+        return
+    if allow_kill and chaos_draw(cfg.seed, "kill", spec_hash, attempt) < cfg.kill_probability:
+        os.kill(os.getpid(), signal.SIGKILL)
+    if chaos_draw(cfg.seed, "poison", spec_hash, attempt) < cfg.poison_probability:
+        raise ChaosPoison(
+            f"chaos: poisoned attempt {attempt} of shard {spec_hash[:12]}"
+        )
+    if chaos_draw(cfg.seed, "delay", spec_hash, attempt) < cfg.delay_probability:
+        time.sleep(cfg.delay_seconds)
+
+
+__all__ = ["CHAOS_ENV", "ChaosConfig", "ChaosPoison", "chaos_draw", "maybe_inject"]

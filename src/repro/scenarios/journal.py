@@ -1,0 +1,158 @@
+"""Run journal: an append-only crash log of shard lifecycle events.
+
+A :class:`RunJournal` records what a sweep execution *did* — one JSONL
+record per shard lifecycle transition — durably enough that the journal
+survives any interruption (Ctrl-C, SIGKILL, OOM, power loss) with at
+most a torn final line, which readers tolerate.  The journal is both a
+debugging artifact (what failed, when, after how many attempts) and the
+substrate for **resume**: ``ok`` records carry the shard's canonical
+result payload keyed by its spec hash, so a re-run can skip every shard
+whose bytes are already known.
+
+Record format (``repro/sweep-journal@1``)
+-----------------------------------------
+Every line is one canonical-JSON object with an ``event`` field:
+
+``sweep``
+    Header written once per execution: sweep name, shard count, and the
+    journal schema version.
+``scheduled``
+    A shard entered the run queue (also written when a retry is queued,
+    with the ``attempt`` it will become).
+``started``
+    An attempt began executing (``attempt`` is 1-based).
+``ok``
+    The shard finished; ``result`` holds the full scenario-result dict
+    (the canonical result bytes, modulo JSON re-serialisation — which
+    round-trips exactly because ``canonical_json`` is deterministic and
+    Python floats survive ``dumps``/``loads`` unchanged).
+``failed``
+    An attempt raised or its worker died; ``error`` holds the wrapped
+    failure (type, message, reason) — never a bare traceback without
+    shard identity.
+``timeout``
+    An attempt exceeded the per-shard wall-clock budget and its worker
+    was killed.
+
+All shard records carry ``shard`` (expansion index), ``scenario`` (the
+shard's name), ``spec_hash`` (SHA-256 of the shard spec's canonical
+JSON), and ``attempt``.  The spec hash — not the index — is the resume
+key, so editing a sweep invalidates exactly the shards whose specs
+changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.ioutil import fsync_append_line
+from repro.scenarios.spec import canonical_json
+
+#: Schema identifier written in the journal header record.
+JOURNAL_SCHEMA = "repro/sweep-journal@1"
+
+#: The journal's shard lifecycle event vocabulary (plus the ``sweep`` header).
+JOURNAL_EVENTS = ("sweep", "scheduled", "started", "ok", "failed", "timeout")
+
+
+def shard_spec_hash(spec_dict: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of a shard spec's canonical JSON.
+
+    This is the identity used for resume matching: two shards are "the
+    same work" exactly when their fully-expanded specs serialise to the
+    same canonical bytes (name, seed, overrides, and all).
+    """
+    return hashlib.sha256(canonical_json(dict(spec_dict)).encode("utf-8")).hexdigest()
+
+
+class RunJournal:
+    """Append-only JSONL journal with fsync'd line appends.
+
+    Opened lazily on first append so constructing a journal never
+    touches the filesystem; safe to use as a context manager.  Appends
+    go through :func:`repro.ioutil.fsync_append_line`, so every record
+    is durable before the caller proceeds — an interrupted sweep can
+    lose in-flight shard *work* but never an already-journaled result.
+    """
+
+    def __init__(self, path: str) -> None:
+        """Bind the journal to ``path`` (created on first append)."""
+        self.path = path
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably append one record (must carry a known ``event`` field)."""
+        event = record.get("event")
+        if event not in JOURNAL_EVENTS:
+            raise ValueError(f"unknown journal event {event!r}")
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        fsync_append_line(self._handle, canonical_json(dict(record)))
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        """Context-manager entry: return self."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: close the handle."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @staticmethod
+    def iter_records(path: str) -> Iterator[Dict[str, Any]]:
+        """Yield parseable records from ``path``, tolerating a torn tail.
+
+        The journal is append-only, so the only line that can be
+        malformed after a crash is the last one; parsing stops at the
+        first undecodable line rather than raising.  A missing file
+        yields nothing.
+        """
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    return  # torn final line from an interrupted append
+                if isinstance(record, dict):
+                    yield record
+
+    @classmethod
+    def read_records(cls, path: str) -> List[Dict[str, Any]]:
+        """All parseable records in ``path`` (see :meth:`iter_records`)."""
+        return list(cls.iter_records(path))
+
+    @classmethod
+    def completed_results(cls, path: str) -> Dict[str, Dict[str, Any]]:
+        """Map ``spec_hash`` → result payload for every ``ok`` record.
+
+        The latest ``ok`` per hash wins (a shard journaled twice — e.g.
+        across an interrupted run and its resume — is simply the same
+        bytes twice).  This is the resume lookup table.
+        """
+        completed: Dict[str, Dict[str, Any]] = {}
+        for record in cls.iter_records(path):
+            if record.get("event") == "ok" and "spec_hash" in record:
+                completed[record["spec_hash"]] = record.get("result", {})
+        return completed
+
+
+__all__ = ["JOURNAL_EVENTS", "JOURNAL_SCHEMA", "RunJournal", "shard_spec_hash"]

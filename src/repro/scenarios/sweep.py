@@ -9,12 +9,15 @@ to the value that shard should use — so a sweep is itself plain data
 and round-trips through JSON like a scenario does.
 
 :class:`SweepRunner` executes the expanded shards either serially or
-across a :mod:`multiprocessing` pool.  Three properties make the two
-modes byte-identical (``workers=1`` ≡ ``workers=N``):
+across supervised worker processes (it fronts the fault-tolerant
+:class:`~repro.scenarios.executor.ResilientSweepRunner`, which adds
+per-shard retries, timeouts, journaling, and resume for callers that
+want them).  Three properties make all execution modes byte-identical
+(``workers=1`` ≡ ``workers=N`` ≡ interrupted-then-resumed):
 
 1. expansion order is deterministic (axes in declaration order, points
-   in list order) and results are assembled in expansion order no
-   matter which worker finishes first (``Pool.map`` preserves order);
+   in list order) and the executor assembles results in expansion order
+   no matter which worker finishes (or retries) first;
 2. every shard's seed is fixed *before* execution — either explicitly
    in its overrides or derived from the base seed and the override
    mapping by a stable FNV-1a hash (:func:`derive_shard_seed`), never
@@ -27,7 +30,8 @@ modes byte-identical (``workers=1`` ≡ ``workers=N``):
 from __future__ import annotations
 
 import json
-import multiprocessing
+import math
+import os
 from dataclasses import dataclass, field
 from itertools import product
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -40,6 +44,26 @@ SWEEP_SCHEMA = "repro/sweep@1"
 
 #: Schema identifier for sweep results envelopes.
 SWEEP_RESULT_SCHEMA = "repro/sweep-result@1"
+
+#: Default ceiling on how many shards one sweep may expand to.
+DEFAULT_MAX_SHARDS = 100_000
+
+#: Environment variable overriding :data:`DEFAULT_MAX_SHARDS`.
+MAX_SHARDS_ENV = "REPRO_SWEEP_MAX_SHARDS"
+
+
+def shard_cap() -> int:
+    """The active shard-count ceiling (env override or the default)."""
+    raw = os.environ.get(MAX_SHARDS_ENV, "").strip()
+    if not raw:
+        return DEFAULT_MAX_SHARDS
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ValueError(f"{MAX_SHARDS_ENV} must be an integer, got {raw!r}") from None
+    if cap < 1:
+        raise ValueError(f"{MAX_SHARDS_ENV} must be >= 1, got {cap}")
+    return cap
 
 
 def derive_shard_seed(base_seed: int, overrides: Mapping[str, Any]) -> int:
@@ -161,6 +185,23 @@ class SweepSpec:
         object.__setattr__(self, "axes", tuple(self.axes))
         object.__setattr__(self, "points",
                            tuple(dict(point) for point in self.points))
+        # guard absurd grids *before* anything can materialise them: the
+        # planned count is a product of axis lengths, so checking it is
+        # O(axes) even when the expansion would be millions of specs
+        planned = self.shard_count()
+        cap = shard_cap()
+        if planned > cap:
+            raise ValueError(
+                f"sweep {self.name!r} would expand to {planned:,} shards, "
+                f"exceeding the cap of {cap:,}; narrow the axes/points or "
+                f"raise the {MAX_SHARDS_ENV} environment variable"
+            )
+
+    def shard_count(self) -> int:
+        """How many shards this sweep expands to (without materialising them)."""
+        if self.points:
+            return len(self.points)
+        return math.prod(len(axis.values) for axis in self.axes)
 
     # ------------------------------------------------------------------
     # Expansion
@@ -243,16 +284,24 @@ def _run_shard(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
 
 
 class SweepRunner:
-    """Execute every shard of a sweep, serially or across a process pool.
+    """Execute every shard of a sweep, serially or across worker processes.
+
+    This is the simple front door: it delegates to
+    :class:`~repro.scenarios.executor.ResilientSweepRunner` with the
+    legacy contract (no retries, no timeout, raise on the first shard
+    failure — now as a :class:`~repro.scenarios.executor.ShardError`
+    naming the shard instead of a bare worker traceback).  Callers who
+    want retries, timeouts, journaling, or resume use the resilient
+    runner directly.
 
     Parameters
     ----------
     sweep:
         The sweep to run.
     workers:
-        Pool size; ``1`` (the default) runs in-process.  Both modes
-        produce byte-identical results JSON (see the module docstring
-        for why).
+        Maximum concurrent worker processes; ``1`` (the default) runs
+        in-process.  Both modes produce byte-identical results JSON
+        (see the module docstring for why).
     """
 
     def __init__(self, sweep: SweepSpec, workers: int = 1) -> None:
@@ -264,27 +313,11 @@ class SweepRunner:
 
     def run(self) -> Dict[str, Any]:
         """Run all shards and return the sweep results envelope."""
-        shards = self.sweep.expand()
-        spec_dicts = [spec.to_dict() for spec in shards]
-        if self.workers == 1 or len(shards) <= 1:
-            results = [_run_shard(d) for d in spec_dicts]
-        else:
-            # fork keeps sys.path (and the already-imported repro package);
-            # spawn is the portable fallback for platforms without fork
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-            with ctx.Pool(processes=min(self.workers, len(shards))) as pool:
-                results = pool.map(_run_shard, spec_dicts)
-        return {
-            "schema": SWEEP_RESULT_SCHEMA,
-            "sweep": {
-                "name": self.sweep.name,
-                "description": self.sweep.description,
-                "seed_mode": self.sweep.seed_mode,
-                "shard_count": len(shards),
-            },
-            "results": results,
-        }
+        from repro.scenarios.executor import ResilientSweepRunner
+
+        return ResilientSweepRunner(
+            self.sweep, workers=self.workers, on_failure="raise"
+        ).run()
 
     def run_json(self) -> str:
         """Run the sweep and return the canonical JSON bytes (as text)."""
@@ -297,6 +330,8 @@ def run_sweep(sweep: SweepSpec, workers: int = 1) -> Dict[str, Any]:
 
 
 __all__ = [
+    "DEFAULT_MAX_SHARDS",
+    "MAX_SHARDS_ENV",
     "SWEEP_SCHEMA",
     "SWEEP_RESULT_SCHEMA",
     "SweepAxis",
@@ -305,4 +340,5 @@ __all__ = [
     "apply_overrides",
     "derive_shard_seed",
     "run_sweep",
+    "shard_cap",
 ]
