@@ -2,7 +2,7 @@
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] [--output BENCH_PR3.json]
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] [--output BENCH_PR7.json]
     PYTHONPATH=src python benchmarks/perf/run_perf.py --compare BENCH_PR1.json
 
 Two kinds of baseline are reported:
@@ -202,9 +202,40 @@ def run_all(quick: bool, repeats: Optional[int] = None) -> dict:
     row["arrivals"] = e2e["arrivals"]
     rows.append(row)
 
+    plane = _best_of(
+        repeats, scenarios.bench_data_plane, better="min", key="seconds", **e2e_kwargs
+    )
+    plane_row = _bench_row(
+        "data_plane_fig5_style", "wall_seconds", plane["seconds"],
+        None, None, e2e_kwargs,
+    )
+    if recorded_e2e is not None:
+        # same convention as end_to_end_fig5_style: wall-clock vs the
+        # recorded seed end-to-end run of the identical workload — the
+        # "data-plane 10x" trajectory number
+        plane_row["baseline"] = recorded_e2e
+        plane_row["baseline_source"] = "recorded seed_baseline.json"
+        plane_row["speedup"] = recorded_e2e / plane["seconds"]
+    # in-process comparison against the current event-level plane, for
+    # transparency alongside the seed-relative trajectory number
+    plane_row["event_plane_seconds"] = plane["event_seconds"]
+    plane_row["speedup_vs_event_plane"] = plane["speedup_vs_event_plane"]
+    rows.append(plane_row)
+
+    n_records = 40_000 if quick else 200_000
+    record = _best_of(
+        repeats, scenarios.bench_record_path, n_records, key="records_per_sec"
+    )
+    rows.append(
+        _bench_row(
+            "request_record_path", "records_per_sec", record["records_per_sec"],
+            None, None, {"n_requests": n_records},
+        )
+    )
+
     return {
         "schema_version": SCHEMA_VERSION,
-        "pr": "PR3",
+        "pr": "PR7",
         "created_unix": time.time(),
         "quick": quick,
         "host": {
@@ -260,8 +291,8 @@ def main(argv=None) -> int:
         "raise on noisy hosts",
     )
     parser.add_argument(
-        "--output", default=str(_REPO / "BENCH_PR3.json"),
-        help="where to write the JSON document (default: repo root BENCH_PR3.json)",
+        "--output", default=str(_REPO / "BENCH_PR7.json"),
+        help="where to write the JSON document (default: repo root BENCH_PR7.json)",
     )
     parser.add_argument(
         "--compare", metavar="BENCH_JSON", default=None,

@@ -164,13 +164,15 @@ def bench_end_to_end(
     rate_per_function: float = 50.0,
     duration: float = 300.0,
     seed: int = 7,
+    data_plane: str = "event",
 ) -> Dict[str, float]:
     """A Figure 5-style scalability run through the full stack.
 
     Several identical functions under sustained Poisson load on a larger
     cluster: arrivals, rate estimation, autoscaling, dispatch, execution
     and metrics all on the hot path.  Wall-clock seconds and simulated
-    events/sec are the headline numbers.
+    events/sec are the headline numbers.  ``data_plane`` selects the
+    request lifecycle implementation (``"event"`` or ``"columnar"``).
     """
     bindings = []
     for i in range(functions):
@@ -189,6 +191,7 @@ def bench_end_to_end(
         cluster_config=ClusterConfig(node_count=8, cpu_per_node=8.0),
         seed=seed,
         warm_start_containers={b.profile.name: 2 for b in bindings},
+        data_plane=data_plane,
     )
     start = time.perf_counter()
     result = runner.run(duration=duration)
@@ -202,6 +205,79 @@ def bench_end_to_end(
         "sim_events": float(runner.engine.events_processed),
         "sim_events_per_sec": runner.engine.events_processed / elapsed,
         "p95_wait": result.waiting_summary(warmup=30.0).p95,
+    }
+
+
+def bench_data_plane(
+    functions: int = 8,
+    rate_per_function: float = 100.0,
+    duration: float = 300.0,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """Columnar vs event-level data plane on the fig5-style workload.
+
+    Runs the identical workload through both request-lifecycle
+    implementations in the same process (resetting the request-id
+    counter in between so both planes see the same id stream) and
+    reports both wall-clocks plus the in-process ratio.  The recorded
+    seed end-to-end baseline provides the third reference point in
+    ``run_perf`` (the "data-plane 10x" trajectory number).
+    """
+    import repro.sim.request as request_module
+    import itertools
+
+    timings = {}
+    completions = {}
+    for plane in ("event", "columnar"):
+        request_module._request_counter = itertools.count(0)
+        sample = bench_end_to_end(
+            functions=functions,
+            rate_per_function=rate_per_function,
+            duration=duration,
+            seed=seed,
+            data_plane=plane,
+        )
+        timings[plane] = sample["seconds"]
+        completions[plane] = sample["completions"]
+    # both planes must have simulated the same workload, or the ratio
+    # is meaningless (the differential suite checks full byte-equality)
+    assert completions["event"] == completions["columnar"], completions
+    return {
+        "seconds": timings["columnar"],
+        "event_seconds": timings["event"],
+        "completions": completions["columnar"],
+        "speedup_vs_event_plane": timings["event"] / timings["columnar"],
+    }
+
+
+def bench_record_path(n_requests: int = 200_000) -> Dict[str, float]:
+    """Per-request record path: allocate, transition and collect requests.
+
+    Guards the ``Request`` slots layout: before ``slots=True`` every
+    request carried a redundant per-instance ``__dict__`` allocation in
+    the hottest loop of the simulator.  The assertion fails if the class
+    ever regresses to dict-backed instances, and the rate makes the
+    regression visible in the BENCH trajectory even if the assert were
+    removed.
+    """
+    from repro.metrics.collector import MetricsCollector
+
+    probe = Request(function_name="probe", arrival_time=0.0, work=0.01)
+    assert not hasattr(probe, "__dict__"), (
+        "Request grew a per-instance __dict__ back; keep slots=True"
+    )
+    collector = MetricsCollector()
+    start = time.perf_counter()
+    for i in range(n_requests):
+        request = Request(function_name="fn", arrival_time=i * 1e-4, work=0.01)
+        request.mark_running(request.arrival_time, "c-0", "node-0", cold_start=False)
+        request.mark_completed(request.arrival_time + 0.01)
+        collector.record_request(request)
+    elapsed = time.perf_counter() - start
+    return {
+        "requests": float(n_requests),
+        "seconds": elapsed,
+        "records_per_sec": n_requests / elapsed,
     }
 
 

@@ -298,6 +298,45 @@ class LassController(ControlPolicy):
             if state is not None:
                 state.online_service.observe(container.cpu_fraction, request.service_time)
 
+    def columnar_plan(self):
+        """LaSS's per-request work, described for the columnar kernel.
+
+        Mirrors :meth:`dispatch` / :meth:`_record_completion` exactly:
+        arrivals fold into the (lazily created) per-function rate
+        estimator and epoch counter, an arrival queued against an empty
+        function creates one container, and completions feed the online
+        service-time estimator when online learning is enabled.
+        """
+        from repro.sim.columnar import ColumnarPlan
+
+        def fold_arrivals(name: str, times: List[float]) -> None:
+            """Fold a batch of arrival times into one function's estimator state."""
+            state = self._state(name)
+            state.rate_estimator.record_arrivals_many(times)
+            state.arrivals_this_epoch += len(times)
+
+        def create_on_empty(name: str) -> None:
+            """Bootstrap one container for a function that has none."""
+            self._create_containers(name, 1)
+
+        fold_completions = None
+        if self.config.online_learning:
+
+            def fold_completions(name: str, cpu_fractions: List[float],
+                                 service_times: List[float]) -> None:
+                """Feed a batch of completions into the online service-time estimator."""
+                state = self._functions.get(name)
+                if state is not None:
+                    state.online_service.observe_many(cpu_fractions, service_times)
+
+        return ColumnarPlan(
+            dispatcher=self.dispatcher,
+            collector=self.metrics,
+            fold_arrivals=fold_arrivals,
+            create_on_empty=create_on_empty,
+            fold_completions=fold_completions,
+        )
+
     # ------------------------------------------------------------------
     # Control path
     # ------------------------------------------------------------------

@@ -36,6 +36,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 #: The paper's rate-sampling granularity; default bucket width.
 DEFAULT_BUCKET_SECONDS = 5.0
 
@@ -110,6 +112,44 @@ class SlidingWindowCounter:
             return
         self._advance(index)
         self._counts[index % self._n_buckets] += 1
+
+    def record_many(self, timestamps: "List[float]") -> None:
+        """Record a batch of events; equivalent to :meth:`record` per element.
+
+        The fast path requires a non-decreasing batch (which per-element
+        recording would demand anyway) and folds the batch bucket by
+        bucket instead of event by event; an unsorted batch falls back
+        to per-element recording so error behaviour matches exactly.
+        """
+        n = len(timestamps)
+        if n == 0:
+            return
+        if n == 1:
+            self.record(timestamps[0])
+            return
+        first = float(timestamps[0])
+        if first < self._last_timestamp - 1e-9:
+            raise ValueError("timestamps must be non-decreasing")
+        width = self.bucket_width
+        batch = np.asarray(timestamps, dtype=np.float64)
+        if np.any(np.diff(batch) < -1e-9):
+            # unsorted batch: replay per element for identical semantics
+            for late in timestamps:
+                self.record(late)
+            return
+        # int(t // width) element-wise: floor_divide matches Python's
+        # float floor division bit-for-bit, and the result is integral
+        indices = np.floor_divide(batch, width).astype(np.int64)
+        unique, unique_counts = np.unique(indices, return_counts=True)
+        self._last_timestamp = float(batch[-1])
+        n_buckets = self._n_buckets
+        for index, batched in zip(unique.tolist(), unique_counts.tolist()):
+            head = self._head
+            if head is not None and index <= head - n_buckets:
+                # same stale-bucket drop as record()
+                continue
+            self._advance(index)
+            self._counts[index % n_buckets] += batched
 
     def count(self, now: float) -> int:
         """Number of events in buckets overlapping ``(now − window, now]``."""
@@ -202,6 +242,15 @@ class DualWindowRateEstimator:
             self._start_time = timestamp
         self.long.record(timestamp)
         self.short.record(timestamp)
+
+    def record_arrivals_many(self, timestamps: "List[float]") -> None:
+        """Record a batch of arrivals; equivalent to :meth:`record_arrival` each."""
+        if not timestamps:
+            return
+        if self._start_time is None:
+            self._start_time = timestamps[0]
+        self.long.record_many(timestamps)
+        self.short.record_many(timestamps)
 
     def estimate(self, now: float) -> RateObservation:
         """Produce a rate estimate at time ``now`` (paper: sampled every 5 s)."""

@@ -145,6 +145,21 @@ class ControlPolicy(abc.ABC):
             )
         self.dispatcher.interceptor = interceptor
 
+    # -- columnar data plane -------------------------------------------
+    def columnar_plan(self) -> Optional[Any]:
+        """Describe this policy's data path to the columnar kernel, or ``None``.
+
+        A policy whose per-request work fits the
+        :class:`~repro.sim.columnar.ColumnarPlan` contract (fold
+        arrivals, shared-queue dispatch, create-one-when-empty,
+        per-completion observation) returns a plan and the
+        ``data_plane="columnar"`` runner executes its requests in the
+        vectorized kernel.  The default ``None`` keeps the event-level
+        path — correct for any policy with a bespoke data path (e.g.
+        the OpenWhisk compatibility policy).
+        """
+        return None
+
     # -- results -------------------------------------------------------
     def results_extra(self) -> Optional[Tuple[str, Dict[str, Any]]]:
         """Optional ``(group_name, payload)`` added to the results envelope."""

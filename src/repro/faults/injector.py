@@ -188,21 +188,28 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Crash-on-dispatch
     # ------------------------------------------------------------------
-    def _intercept_dispatch(self, request: Request, container: Container) -> bool:
-        """Dispatcher interceptor: crash the container with the specced probability.
+    def crash_decision(self, function_name: str) -> bool:
+        """Draw the crash-on-dispatch decision for one dispatch.
 
-        One uniform draw per dispatch keeps the stream consumption a
-        pure function of the (deterministic) event order.  On a crash
-        the dispatched request fails — it reached a dying container —
-        the container is evicted (its queued requests are salvaged), and
-        the controller immediately re-provisions.  Returns ``False`` to
-        tell the dispatcher the request was disposed of.
+        One uniform draw per (non-filtered) dispatch keeps the stream
+        consumption a pure function of the (deterministic) dispatch
+        order — which is exactly why the columnar data plane calls this
+        at every dispatch it performs in-kernel: the ``faults:crash``
+        stream advances identically on both data planes.  Functions
+        outside ``crash_functions`` never draw.
         """
         if (self._crash_functions is not None
-                and request.function_name not in self._crash_functions):
-            return True
-        if float(self._crash_rng.random()) >= self.spec.crash_probability:
-            return True
+                and function_name not in self._crash_functions):
+            return False
+        return float(self._crash_rng.random()) < self.spec.crash_probability
+
+    def apply_crash(self, request: Request, container: Container) -> None:
+        """Execute a confirmed crash: fail the request, evict, re-provision.
+
+        The dispatched request fails — it reached a dying container —
+        the container is evicted (its queued requests are salvaged), and
+        the controller immediately re-provisions.
+        """
         now = self.engine.now
         request.mark_dropped(now)
         interrupted, salvaged = self.cluster.evict_container(container.container_id)
@@ -211,6 +218,16 @@ class FaultInjector:
         if salvaged:
             self.metrics.increment("requeued_requests", len(salvaged))
         self.controller.on_container_crashed(container, salvaged)
+
+    def _intercept_dispatch(self, request: Request, container: Container) -> bool:
+        """Dispatcher interceptor: crash the container with the specced probability.
+
+        Returns ``False`` to tell the dispatcher the request was
+        disposed of, ``True`` to let the dispatch proceed.
+        """
+        if not self.crash_decision(request.function_name):
+            return True
+        self.apply_crash(request, container)
         return False
 
     # ------------------------------------------------------------------

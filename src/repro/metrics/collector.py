@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.metrics.percentiles import WaitingTimeSummary, summarize_waiting_times
 from repro.metrics.slo import SloReport, slo_report
@@ -97,7 +97,8 @@ class MetricsCollector:
                 f"unknown percentile_sketch {percentile_sketch!r}; "
                 "valid: 'reservoir', 'p2'"
             )
-        self.requests: List[Request] = []
+        self._requests: List[Request] = []
+        self._deferred_fill: Optional[Callable[[], List[Request]]] = None
         self.timeline = AllocationTimeline()
         self.utilization = UtilizationTracker()
         self.epochs: List[EpochSnapshot] = []
@@ -114,6 +115,38 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     # Request lifecycle
     # ------------------------------------------------------------------
+    @property
+    def requests(self) -> List[Request]:
+        """Every recorded request, materializing a deferred columnar list once.
+
+        The columnar data plane registers a fill callback via
+        :meth:`defer_requests` instead of appending per request; the
+        first access reconstructs the full list (and drops the
+        callback), so analysis code is oblivious to which data plane
+        produced the run.
+        """
+        fill = self._deferred_fill
+        if fill is not None:
+            self._deferred_fill = None
+            self._requests = fill()
+        return self._requests
+
+    @requests.setter
+    def requests(self, value: List[Request]) -> None:
+        """Replace the stored request list (drops any pending deferred fill)."""
+        self._deferred_fill = None
+        self._requests = value
+
+    def defer_requests(self, fill: Callable[[], List[Request]]) -> None:
+        """Register a callback that reconstructs the request list on demand.
+
+        Used by the columnar kernel so the hot loop never appends request
+        objects; any previously stored requests are superseded (the
+        kernel's fill covers the whole run).
+        """
+        self._requests = []
+        self._deferred_fill = fill
+
     def record_request(self, request: Request) -> None:
         """Register a request (typically at arrival; its fields keep updating)."""
         if self.store_requests:
@@ -135,6 +168,37 @@ class MetricsCollector:
                         StreamingSummary(sketch=self.percentile_sketch)
                     )
                 per_function.add(wait)
+
+    # -- columnar folds (epoch-granular, from the vectorized data plane) --
+    def fold_arrivals(self, count: int) -> None:
+        """Count ``count`` arrivals at once (columnar plane's batched fold)."""
+        self.counters["arrivals"] += count
+
+    def fold_completion(self, function_name: str, waiting_time: float,
+                        cold_start: bool) -> None:
+        """Count one completion from columnar state (no request object).
+
+        Field-for-field equivalent of :meth:`record_completion`; used
+        when streaming summaries (or a policy's per-completion hook)
+        need the per-request values in completion order.
+        """
+        self.counters["completions"] += 1
+        if cold_start:
+            self.counters["cold_starts"] += 1
+        if self._streaming_all is not None:
+            self._streaming_all.add(waiting_time)
+            per_function = self._streaming_by_function.get(function_name)
+            if per_function is None:
+                per_function = self._streaming_by_function[function_name] = (
+                    StreamingSummary(sketch=self.percentile_sketch)
+                )
+            per_function.add(waiting_time)
+
+    def fold_completions_bulk(self, count: int, cold_starts: int) -> None:
+        """Count a whole batch of completions at once (no streaming mode)."""
+        self.counters["completions"] += count
+        if cold_starts:
+            self.counters["cold_starts"] += cold_starts
 
     def record_drop(self, count: int = 1) -> None:
         """Count dropped requests (terminated containers, failed nodes)."""

@@ -151,6 +151,34 @@ class HybridPolicy(ControlPolicy):
         """Completion callback: record the completion in the metrics."""
         self.metrics.record_completion(request)
 
+    def columnar_plan(self):
+        """The hybrid data path, described for the columnar kernel.
+
+        Mirrors :meth:`dispatch` / :meth:`_on_request_complete`: fold
+        arrivals into the per-function rate windows, create one
+        container when a request queues against an empty function; the
+        completion side is pure metrics (handled by the kernel's
+        collector folds).
+        """
+        from repro.sim.columnar import ColumnarPlan
+
+        def fold_arrivals(name: str, times) -> None:
+            """Fold a batch of arrival times into the function's rate windows."""
+            estimator = self._rates.get(name)
+            if estimator is not None:
+                estimator.record_arrivals_many(times)
+
+        def create_on_empty(name: str) -> None:
+            """Bootstrap one container for a function that has none."""
+            self._create(name, 1)
+
+        return ColumnarPlan(
+            dispatcher=self.dispatcher,
+            collector=self.metrics,
+            fold_arrivals=fold_arrivals,
+            create_on_empty=create_on_empty,
+        )
+
     def _service_rate(self, name: str) -> float:
         """μ of a standard container, from the offline profile or the default."""
         profile = self._profiles.get(name)

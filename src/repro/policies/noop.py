@@ -63,6 +63,12 @@ class NoOpPolicy(ControlPolicy):
         """Completion callback: record the completion in the metrics."""
         self.metrics.record_completion(request)
 
+    def columnar_plan(self):
+        """Pure dispatch + metrics: the minimal columnar plan."""
+        from repro.sim.columnar import ColumnarPlan
+
+        return ColumnarPlan(dispatcher=self.dispatcher, collector=self.metrics)
+
 
 def _no_params(params) -> None:
     """Eager params check: the no-op policy is parameterless."""

@@ -108,6 +108,25 @@ class ConcurrencyAutoscaler(ControlPolicy):
         """Completion callback: record the completion in the metrics."""
         self.metrics.record_completion(request)
 
+    def columnar_plan(self):
+        """The reactive data path, described for the columnar kernel.
+
+        Mirrors :meth:`dispatch`: no per-arrival estimator state, create
+        one container when a request queues against an empty function,
+        completions are pure metrics.
+        """
+        from repro.sim.columnar import ColumnarPlan
+
+        def create_on_empty(name: str) -> None:
+            """Bootstrap one container for a function that has none."""
+            self._create(name, 1)
+
+        return ColumnarPlan(
+            dispatcher=self.dispatcher,
+            collector=self.metrics,
+            create_on_empty=create_on_empty,
+        )
+
     # ------------------------------------------------------------------
     # Control loop
     # ------------------------------------------------------------------

@@ -84,6 +84,12 @@ class StaticAllocationController(ControlPolicy):
         """Completion callback: record the completion in the metrics."""
         self.metrics.record_completion(request)
 
+    def columnar_plan(self):
+        """Pure dispatch + metrics over the fixed fleet: the minimal plan."""
+        from repro.sim.columnar import ColumnarPlan
+
+        return ColumnarPlan(dispatcher=self.dispatcher, collector=self.metrics)
+
     # ------------------------------------------------------------------
     # Fault hooks: restore the provisioned allocation
     # ------------------------------------------------------------------

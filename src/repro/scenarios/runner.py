@@ -162,6 +162,7 @@ def _run_simulate(spec: ScenarioSpec) -> ScenarioOutcome:
         fault_spec=spec.faults,
         policy=spec.controller.policy,
         policy_params=dict(spec.controller.policy_params),
+        data_plane=spec.data_plane,
     )
     if "guaranteed_cpu" in spec.metrics and not hasattr(runner.policy, "guaranteed_cpu_shares"):
         # fail fast instead of silently omitting the requested group
@@ -260,6 +261,7 @@ def _run_fixed(spec: ScenarioSpec) -> ScenarioOutcome:
         seed=spec.seed,
         deflation_plan=resolved.get("deflation_plan"),
         extra_drain=spec.extra_drain,
+        data_plane=spec.data_plane,
     )
     data = _envelope(
         spec,

@@ -530,6 +530,11 @@ class ScenarioSpec:
     params: Mapping[str, Any] = field(default_factory=dict)
     extra_drain: float = 5.0
     faults: Optional[FaultSpec] = None
+    #: which data plane executes the request lifecycle: ``"event"`` (the
+    #: default and oracle) or ``"columnar"`` (the vectorized kernel; falls
+    #: back to the event plane for policies without a columnar plan).
+    #: Both produce byte-identical results envelopes.
+    data_plane: str = "event"
 
     def __post_init__(self) -> None:
         """Validate the scenario and freeze its collections."""
@@ -537,6 +542,10 @@ class ScenarioSpec:
             raise ValueError("scenario name must be non-empty")
         if self.kind not in SCENARIO_KINDS:
             raise ValueError(f"unknown scenario kind {self.kind!r}; valid: {SCENARIO_KINDS}")
+        if self.data_plane not in ("event", "columnar"):
+            raise ValueError(
+                f"unknown data_plane {self.data_plane!r}; valid: 'event', 'columnar'"
+            )
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.warmup < 0:
@@ -581,8 +590,13 @@ class ScenarioSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict (JSON-ready) view of the whole scenario."""
-        return {
+        """Plain-dict (JSON-ready) view of the whole scenario.
+
+        ``data_plane`` is serialised only when non-default, so every
+        pre-columnar spec — and every results envelope echoing one —
+        keeps its exact historical bytes.
+        """
+        data = {
             "schema": SCENARIO_SCHEMA,
             "name": self.name,
             "kind": self.kind,
@@ -601,6 +615,9 @@ class ScenarioSpec:
             "extra_drain": self.extra_drain,
             "faults": self.faults.to_dict() if self.faults is not None else None,
         }
+        if self.data_plane != "event":
+            data["data_plane"] = self.data_plane
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -628,6 +645,7 @@ class ScenarioSpec:
             extra_drain=float(data.get("extra_drain", 5.0)),
             faults=(FaultSpec.from_dict(data["faults"])
                     if data.get("faults") is not None else None),
+            data_plane=data.get("data_plane", "event"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

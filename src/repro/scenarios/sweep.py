@@ -84,6 +84,7 @@ def derive_shard_seed(base_seed: int, overrides: Mapping[str, Any]) -> int:
 _CREATABLE_OVERRIDE_PATHS = frozenset({
     "controller.policy",
     "controller.policy_params",
+    "data_plane",
 })
 
 

@@ -249,6 +249,39 @@ class SimulationEngine:
         self._sequence = sequence + 1
         heapq.heappush(self._queue, (time, priority, sequence, callback, args))
 
+    def schedule_many_events(
+        self,
+        entries: Iterable[Tuple[float, Callable[..., Any], tuple]],
+        priority: int = PRIORITY_DATA,
+    ) -> list:
+        """Batch variant of :meth:`schedule_at` returning cancellable events.
+
+        Like :meth:`schedule_many` this reads engine state once and keeps
+        scheduling order as the tie-break at equal ``(time, priority)``,
+        but each entry gets an :class:`Event` record so the caller can
+        cancel it later — the shape the columnar data plane needs when it
+        re-materializes in-flight service completions at a control-plane
+        boundary.
+
+        Returns the list of :class:`Event` handles, in entry order.
+        """
+        now = self._now
+        queue = self._queue
+        push = heapq.heappush
+        sequence = self._sequence
+        events = []
+        try:
+            for time, callback, args in entries:
+                if not now <= time < _INF:
+                    raise SimulationError(f"cannot schedule at {time!r}; now={now:.6f}")
+                event = Event(time, priority, sequence, callback, args, None)
+                push(queue, (time, priority, sequence, event, None))
+                sequence += 1
+                events.append(event)
+        finally:
+            self._sequence = sequence
+        return events
+
     def schedule_many(
         self,
         entries: Iterable[Tuple[float, Callable[..., Any], tuple]],
@@ -349,6 +382,25 @@ class SimulationEngine:
             self._events_cancelled += cancelled
             self._running = False
         return self._now
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if the queue is empty.
+
+        Cancelled :class:`Event` records sitting at the top of the heap
+        are discarded (and counted) exactly as :meth:`run` would discard
+        them, so the returned time is the time :meth:`step` would execute
+        at.  The clock is not advanced and no callback runs.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            target = entry[3]
+            if entry[4] is None and target.cancelled:
+                heapq.heappop(queue)
+                self._events_cancelled += 1
+                continue
+            return entry[0]
+        return None
 
     def step(self) -> bool:
         """Execute a single event.  Returns ``False`` if the queue is empty.

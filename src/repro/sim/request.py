@@ -28,9 +28,14 @@ class RequestStatus(enum.Enum):
     TIMED_OUT = "timed_out"      #: exceeded the platform's hard execution limit
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """A single invocation of a serverless function.
+
+    ``slots=True`` matters here: requests are the simulator's highest-
+    volume objects, and the per-instance ``__dict__`` a plain dataclass
+    carries roughly doubled allocation cost on the record path (the
+    ``bench_record_path`` micro-benchmark guards this).
 
     Attributes
     ----------

@@ -125,6 +125,13 @@ class SimulationRunner:
         Policy-specific configuration forwarded to the registered
         factory (e.g. ``{"allocations": {...}}`` for ``"static"``).
         LaSS takes none — it is configured through ``controller_config``.
+    data_plane:
+        ``"event"`` (the default, and the oracle) executes every request
+        through per-request engine events; ``"columnar"`` runs the
+        vectorized kernel (:mod:`repro.sim.columnar`) when the policy
+        supports it, falling back to the event plane otherwise.  Both
+        planes produce byte-identical results (the differential test
+        suite enforces it).
     """
 
     def __init__(
@@ -141,10 +148,16 @@ class SimulationRunner:
         fault_spec: Optional["FaultSpec"] = None,
         policy: Union[str, Callable[[PolicyContext], ControlPolicy]] = "lass",
         policy_params: Optional[Mapping[str, Any]] = None,
+        data_plane: str = "event",
     ) -> None:
         """Build the engine, cluster, controller, and arrival generators (see the class docstring for parameter semantics)."""
         if not workloads:
             raise ValueError("at least one workload binding is required")
+        if data_plane not in ("event", "columnar"):
+            raise ValueError(
+                f"unknown data_plane {data_plane!r}; valid: 'event', 'columnar'"
+            )
+        self.data_plane = data_plane
         names = [w.profile.name for w in workloads]
         if len(set(names)) != len(names):
             raise ValueError("duplicate function names in workload bindings")
@@ -262,8 +275,18 @@ class SimulationRunner:
         for generator in self.generators:
             if generator.horizon is None or generator.horizon > duration:
                 generator.horizon = duration
-            generator.start()
-        self.engine.run(until=duration + extra_drain)
+        kernel = None
+        if self.data_plane == "columnar":
+            from repro.sim.columnar import build_kernel
+
+            kernel = build_kernel(self.engine, self.cluster, self.policy,
+                                  self.generators)
+        if kernel is not None:
+            kernel.run(until=duration + extra_drain)
+        else:
+            for generator in self.generators:
+                generator.start()
+            self.engine.run(until=duration + extra_drain)
         generated = {g.profile.name: g.generated for g in self.generators}
         return SimulationResult(
             metrics=self.metrics,
@@ -282,6 +305,7 @@ def run_fixed_allocation(
     seed: int = 1,
     deflation_plan: Optional[Sequence[float]] = None,
     extra_drain: float = 5.0,
+    data_plane: str = "event",
 ) -> SimulationResult:
     """Run a single function against a *fixed* container allocation (no autoscaling).
 
@@ -298,9 +322,16 @@ def run_fixed_allocation(
     extra_drain:
         Seconds the event loop runs past the workload horizon so
         in-flight requests can complete and be counted.
+    data_plane:
+        ``"event"`` (default/oracle) or ``"columnar"`` — same contract
+        as :class:`SimulationRunner`.
     """
     if containers < 1:
         raise ValueError("containers must be >= 1")
+    if data_plane not in ("event", "columnar"):
+        raise ValueError(
+            f"unknown data_plane {data_plane!r}; valid: 'event', 'columnar'"
+        )
     engine = SimulationEngine()
     rng = RngStreams(seed)
     # size the "cluster" generously: these experiments isolate the queueing
@@ -343,8 +374,16 @@ def run_fixed_allocation(
         horizon=duration,
         work_rng=rng.stream(f"work:{binding.profile.name}"),
     )
-    generator.start()
-    engine.run(until=duration + extra_drain)
+    kernel = None
+    if data_plane == "columnar":
+        from repro.sim.columnar import build_kernel
+
+        kernel = build_kernel(engine, cluster, policy, [generator])
+    if kernel is not None:
+        kernel.run(until=duration + extra_drain)
+    else:
+        generator.start()
+        engine.run(until=duration + extra_drain)
     return SimulationResult(
         metrics=metrics,
         cluster=cluster,

@@ -267,6 +267,41 @@ class ArrivalGenerator:
         self.generated += 1
         self.dispatch(request)
 
+    def materialize_arrivals(self) -> "tuple[List[float], List[float]]":
+        """Sample the whole run's arrivals up front (columnar data plane).
+
+        Returns ``(times, works)`` — every arrival time up to the
+        horizon plus each request's sampled work — instead of pumping
+        them through engine events.  RNG consumption is *identical* to
+        the event-driven path: batches of ``batch_size`` arrivals are
+        drawn from the sampler and each batch's work is drawn
+        immediately afterwards, exactly mirroring :meth:`_pump`'s
+        interleaving (which matters when ``work_rng`` is the shared
+        arrival stream).  Marks the generator as started; a generator
+        can drive exactly one of the two data planes.
+        """
+        if self._started:
+            raise RuntimeError("generator already started")
+        self._started = True
+        sampler = _ThinningSampler(
+            self.schedule,
+            self.rng,
+            start=self.engine.now,
+            horizon=self.horizon,
+            thinning_window=self.thinning_window,
+        )
+        self._sampler = sampler
+        times: List[float] = []
+        works: List[float] = []
+        while True:
+            batch = sampler.next_arrivals(self.batch_size)
+            if not batch:
+                break
+            times.extend(batch)
+            works.extend(self.profile.sample_work_many(self.work_rng, len(batch)).tolist())
+        self.generated = len(times)
+        return times, works
+
     # ------------------------------------------------------------------
     # Request construction
     # ------------------------------------------------------------------

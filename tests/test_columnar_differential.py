@@ -1,0 +1,237 @@
+"""Differential oracle: the columnar data plane vs the event-level plane.
+
+The columnar kernel (:mod:`repro.sim.columnar`) is an opt-in rewrite of
+the hottest loop in the simulator.  Its correctness contract is not "close
+enough" — it is **byte-for-byte equality** with the event-level path:
+identical per-request lifecycle records (ids, timestamps, container
+placement, cold-start flags) and identical results envelopes
+(:func:`canonical_json` of the full scenario output), across every
+registered scenario, fault arm, and control-plane policy.
+
+The event-level plane is the oracle, the same way PR 3 kept
+``required_containers_naive`` as the oracle for the vectorised sizing
+solver.  Every test here runs the same spec through both planes — with
+the request-id counter reset in between so both planes see the same id
+stream — and diffs the results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.sim.request as request_module
+from repro.scenarios.registry import SHOOTOUT_POLICIES, build
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec, canonical_json
+from repro.scenarios.sweep import SweepRunner, SweepSpec, apply_overrides
+
+#: Simulation-backed hypothesis examples are expensive; keep the count
+#: modest and derandomized so CI time is predictable.
+SIM_PROPERTY_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _reset_request_ids() -> None:
+    """Rewind the global request-id stream so both planes see the same ids."""
+    request_module._request_counter = itertools.count(0)
+
+
+def _columnar(spec: ScenarioSpec) -> ScenarioSpec:
+    """The same scenario with the columnar data plane selected."""
+    return apply_overrides(spec, {"data_plane": "columnar"})
+
+
+def _record_rows(outcome):
+    """The per-request lifecycle table, sorted by request id."""
+    rows = [
+        (
+            r.request_id, r.function_name, r.arrival_time, r.deadline, r.work,
+            r.status.value, r.start_time, r.completion_time, r.container_id,
+            r.node_name, r.cold_start,
+        )
+        for r in outcome.sim.metrics.requests
+    ]
+    rows.sort()
+    return rows
+
+
+def _strip_timing(obj):
+    """Drop host-dependent wall-clock fields (the sizing benchmark's)."""
+    if isinstance(obj, dict):
+        return {
+            k: _strip_timing(v) for k, v in obj.items() if "second" not in k
+        }
+    if isinstance(obj, list):
+        return [_strip_timing(v) for v in obj]
+    return obj
+
+
+def assert_planes_identical(spec: ScenarioSpec, timing_free: bool = False) -> None:
+    """Run ``spec`` through both planes and require byte-identical output."""
+    _reset_request_ids()
+    event = run_scenario(spec)
+    _reset_request_ids()
+    columnar = run_scenario(_columnar(spec))
+
+    event_data = dict(event.data)
+    columnar_data = dict(columnar.data)
+    # the spec echo legitimately differs by exactly the data_plane field
+    assert columnar_data["scenario"].pop("data_plane", "event") == "columnar"
+    assert "data_plane" not in event_data["scenario"]
+    if timing_free:
+        event_data = _strip_timing(event_data)
+        columnar_data = _strip_timing(columnar_data)
+    assert canonical_json(columnar_data) == canonical_json(event_data), (
+        f"envelope mismatch for scenario {spec.name!r}"
+    )
+    if event.sim is not None:
+        assert columnar.sim is not None
+        assert _record_rows(event) == _record_rows(columnar), (
+            f"per-request lifecycle mismatch for scenario {spec.name!r}"
+        )
+
+
+def _shards(built):
+    """A builder's shards: the sweep expansion, or the single spec."""
+    if isinstance(built, SweepSpec):
+        return built.expand()
+    return [built]
+
+
+# ----------------------------------------------------------------------
+# Every registered scenario, scaled down but structurally intact
+# ----------------------------------------------------------------------
+#: name -> builder kwargs.  Durations are shrunk so the whole gauntlet
+#: stays CI-sized, but every kind, fault arm, policy, workload shape and
+#: metric group of the full-size scenarios is exercised.
+REGISTRY_CASES = {
+    "table1": {},
+    "fig3": {"mus": (10.0,), "slo_deadlines": (0.1,),
+             "arrival_rates": (10.0, 30.0), "duration": 40.0},
+    "fig4": {"proportions": (0.5,), "arrival_rates": (20.0,), "duration": 40.0},
+    "fig5": {"container_counts": (10, 25), "repeats": 1},
+    "fig6": {"step_duration": 20.0},
+    "fig7": {},
+    "fig8": {"phase_duration": 30.0},
+    "fig9": {"duration_minutes": 2},
+    "fig10": {"duration": 120.0, "fail_at": 30.0, "recover_at": 60.0},
+    "fig11": {"duration": 40.0},
+    "node-failure-recovery": {"duration": 120.0, "fail_at": 30.0,
+                              "recover_at": 60.0},
+    "rolling-node-churn": {"phase": 20.0},
+    "flaky-containers": {"duration": 60.0},
+    "policy-shootout": {"duration": 40.0},
+    "quickstart": {"duration": 30.0},
+    "video-analytics-burst": {"bursts": 1, "burst_length": 20.0,
+                              "idle_length": 30.0},
+    "overload-fair-share": {"phase_duration": 20.0},
+    "azure-replay": {"duration_minutes": 2},
+}
+
+#: Scenario kinds whose envelopes embed host wall-clock measurements.
+TIMING_SCENARIOS = {"fig5"}
+
+
+def test_every_registered_scenario_has_a_differential_case():
+    """The gauntlet goes stale the moment someone registers a scenario."""
+    from repro.scenarios import registry
+
+    assert set(REGISTRY_CASES) == set(registry.names())
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY_CASES))
+def test_columnar_matches_event_plane(name):
+    """Columnar ≡ event-level on every shard of every registered scenario."""
+    built = build(name, **REGISTRY_CASES[name])
+    shards = _shards(built)
+    assert shards, name
+    for spec in shards:
+        assert_planes_identical(spec, timing_free=name in TIMING_SCENARIOS)
+
+
+def test_policy_shootout_covers_all_policies_and_fault_arms():
+    """The shootout case really is the policies × faults cross product."""
+    shards = _shards(build("policy-shootout", duration=40.0))
+    arms = {(s.controller.policy, s.faults is not None) for s in shards}
+    for policy in SHOOTOUT_POLICIES:
+        assert (policy, False) in arms
+        assert (policy, True) in arms
+
+
+def test_noop_policy_matches():
+    """The sixth policy (noop) is not in the shootout; cover it directly."""
+    spec = apply_overrides(
+        build("quickstart", duration=30.0), {"controller.policy": "noop"}
+    )
+    assert_planes_identical(spec)
+
+
+# ----------------------------------------------------------------------
+# workers=1 ≡ workers=N with the columnar plane enabled
+# ----------------------------------------------------------------------
+def test_columnar_sweep_workers_byte_identical():
+    """A columnar sweep shards exactly like an event-level one.
+
+    ``workers=1`` and ``workers=4`` must produce byte-identical sweep
+    JSON, and each shard's envelope must equal its event-plane twin
+    modulo the ``data_plane`` spec echo.
+    """
+    sweep = build("fig3", mus=(10.0,), slo_deadlines=(0.1,),
+                  arrival_rates=(10.0, 20.0, 30.0), duration=30.0)
+    columnar_sweep = dataclasses.replace(
+        sweep, base=apply_overrides(sweep.base, {"data_plane": "columnar"})
+    )
+    serial = SweepRunner(columnar_sweep, workers=1).run_json()
+    parallel = SweepRunner(columnar_sweep, workers=4).run_json()
+    assert serial == parallel
+
+    event_results = json.loads(SweepRunner(sweep, workers=1).run_json())["results"]
+    columnar_results = json.loads(serial)["results"]
+    assert len(event_results) == len(columnar_results) == 3
+    for event_shard, columnar_shard in zip(event_results, columnar_results):
+        assert columnar_shard["scenario"].pop("data_plane") == "columnar"
+        assert columnar_shard == event_shard
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random small workloads, byte-for-byte
+# ----------------------------------------------------------------------
+@given(
+    rate=st.floats(min_value=2.0, max_value=40.0),
+    duration=st.floats(min_value=12.0, max_value=35.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+    policy=st.sampled_from(("lass", "hybrid", "reactive", "static")),
+)
+@SIM_PROPERTY_SETTINGS
+def test_random_workloads_byte_for_byte(rate, duration, seed, policy):
+    """Columnar ≡ event-level on randomly drawn small workloads."""
+    overrides = {"controller.policy": policy}
+    if policy == "static":
+        overrides["controller.policy_params"] = {"allocations": {"squeezenet": 4}}
+    spec = apply_overrides(
+        build("quickstart", rate=rate, duration=duration, seed=seed), overrides
+    )
+    assert_planes_identical(spec)
+
+
+@given(
+    crash_probability=st.floats(min_value=0.0, max_value=0.2),
+    rate=st.floats(min_value=4.0, max_value=25.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@SIM_PROPERTY_SETTINGS
+def test_random_faulted_workloads_byte_for_byte(crash_probability, rate, seed):
+    """Crash-on-dispatch consumes fault RNG identically in both planes."""
+    spec = build("flaky-containers", crash_probability=crash_probability,
+                 rate=rate, duration=45.0, seed=seed)
+    assert_planes_identical(spec)

@@ -235,3 +235,227 @@ def test_memoized_warm_started_solver_equals_reference_in_batches(draws):
     for (lam, mu, budget, percentile), result in zip(draws, batched):
         want = required_containers(lam, mu, budget, percentile)
         assert result.containers == want.containers
+
+
+# ----------------------------------------------------------------------
+# Columnar-kernel invariants (PR 7)
+# ----------------------------------------------------------------------
+def _quantile_state(quantile):
+    """Everything observable about a StreamingQuantile, RNG included."""
+    return (list(quantile._sorted), quantile._count, quantile._rng.getstate())
+
+
+def _estimator_state(estimator):
+    """Full observable state of an OnlineServiceTimeEstimator."""
+    return (
+        {key: _quantile_state(bucket) for key, bucket in estimator._buckets.items()},
+        {key: list(totals) for key, totals in estimator._totals.items()},
+    )
+
+
+@PROPERTY_SETTINGS
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            st.sampled_from([SimulationEngine.PRIORITY_DATA,
+                             SimulationEngine.PRIORITY_FAULT,
+                             SimulationEngine.PRIORITY_CONTROL]),
+        ),
+        min_size=1, max_size=50,
+    ),
+    split=st.integers(min_value=0, max_value=50),
+    cancel_stride=st.integers(min_value=2, max_value=7),
+)
+def test_schedule_many_events_matches_one_at_a_time(entries, split, cancel_stride):
+    """Batched completion scheduling ≡ per-event scheduling, exactly.
+
+    ``schedule_many_events`` must preserve ``(time, priority, seq)`` heap
+    order relative to one-at-a-time insertion — including when the batch
+    is split into two consecutive calls at an arbitrary point — and its
+    Event handles must cancel exactly like individually scheduled ones.
+    Per-priority runs are scheduled in the same order on both engines, so
+    sequence numbers line up and the execution orders must be identical.
+    """
+    split = min(split, len(entries))
+
+    batched_engine = SimulationEngine()
+    batched_order = []
+    batched_events = []
+    serial_engine = SimulationEngine()
+    serial_order = []
+    serial_events = []
+
+    for sub, base in ((entries[:split], 0), (entries[split:], split)):
+        for priority in (SimulationEngine.PRIORITY_FAULT,
+                         SimulationEngine.PRIORITY_DATA,
+                         SimulationEngine.PRIORITY_CONTROL):
+            run = [(base + offset, time) for offset, (time, p) in enumerate(sub)
+                   if p == priority]
+            if not run:
+                continue
+            batched_events.extend(batched_engine.schedule_many_events(
+                [(time, batched_order.append, (index,)) for index, time in run],
+                priority=priority,
+            ))
+            for index, time in run:
+                serial_events.append(serial_engine.schedule(
+                    time, serial_order.append, index, priority=priority))
+
+    # cancel the same subset of handles on both engines
+    for position in range(0, len(batched_events), cancel_stride):
+        batched_events[position].cancel()
+        serial_events[position].cancel()
+
+    batched_engine.run()
+    serial_engine.run()
+    assert batched_order == serial_order
+    assert batched_engine.events_processed == serial_engine.events_processed
+
+
+@PROPERTY_SETTINGS
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=10.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=0, max_size=80,
+    ),
+    split=st.integers(min_value=0, max_value=80),
+)
+def test_streaming_quantile_add_many_is_batch_split_invariant(values, split):
+    """``add_many`` ≡ per-element ``add`` with identical RNG consumption.
+
+    Reservoir contents, counts *and the RNG state itself* must match
+    after any split of the stream into batches — the property the
+    columnar flush relies on when it folds a whole drain's completions
+    in one call.
+    """
+    from repro.core.estimation.service_time import StreamingQuantile
+
+    split = min(split, len(values))
+    reference = StreamingQuantile(max_samples=16, seed=3)
+    for value in values:
+        reference.add(value)
+
+    batched = StreamingQuantile(max_samples=16, seed=3)
+    batched.add_many(values[:split])
+    batched.add_many(values[split:])
+    assert _quantile_state(batched) == _quantile_state(reference)
+
+
+@PROPERTY_SETTINGS
+@given(
+    observations=st.lists(
+        st.tuples(
+            st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+            st.floats(min_value=0.0, max_value=5.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        min_size=0, max_size=60,
+    ),
+    split=st.integers(min_value=0, max_value=60),
+)
+def test_observe_many_is_batch_split_invariant(observations, split):
+    """``observe_many`` ≡ per-element ``observe`` across arbitrary splits.
+
+    Covers both the mixed-bucket grouping path and the single-bucket
+    fast path (hypothesis shrinks toward uniform cpu fractions), with
+    per-bucket reservoir RNG state compared exactly.
+    """
+    from repro.core.estimation.service_time import OnlineServiceTimeEstimator
+
+    split = min(split, len(observations))
+    reference = OnlineServiceTimeEstimator(max_samples_per_bucket=16)
+    for cpu_fraction, service_time in observations:
+        reference.observe(cpu_fraction, service_time)
+
+    batched = OnlineServiceTimeEstimator(max_samples_per_bucket=16)
+    for chunk in (observations[:split], observations[split:]):
+        batched.observe_many([cpu for cpu, _ in chunk],
+                             [service for _, service in chunk])
+    assert _estimator_state(batched) == _estimator_state(reference)
+
+
+@PROPERTY_SETTINGS
+@given(
+    deltas=st.lists(
+        st.floats(min_value=0.0, max_value=12.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=0, max_size=60,
+    ),
+    window=st.floats(min_value=4.0, max_value=60.0,
+                     allow_nan=False, allow_infinity=False),
+    split=st.integers(min_value=0, max_value=60),
+)
+def test_record_many_is_batch_split_invariant(deltas, window, split):
+    """``record_many`` ≡ per-element ``record`` across arbitrary splits."""
+    timestamps = []
+    now = 0.0
+    for delta in deltas:
+        now += delta
+        timestamps.append(now)
+    split = min(split, len(timestamps))
+
+    reference = SlidingWindowCounter(window)
+    for timestamp in timestamps:
+        reference.record(timestamp)
+
+    batched = SlidingWindowCounter(window)
+    batched.record_many(timestamps[:split])
+    batched.record_many(timestamps[split:])
+
+    assert batched._counts == reference._counts
+    assert batched._head == reference._head
+    query = (timestamps[-1] if timestamps else 0.0) + 1.0
+    assert batched.count(query) == reference.count(query)
+
+
+@PROPERTY_SETTINGS
+@given(
+    rate=st.floats(min_value=1.0, max_value=50.0),
+    duration=st.floats(min_value=5.0, max_value=40.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+    batch_size=st.sampled_from([1, 7, 256]),
+)
+def test_materialized_arrivals_match_event_driven_pump(rate, duration, seed,
+                                                       batch_size):
+    """Bulk arrival materialization consumes RNG exactly like the pump.
+
+    The columnar plane samples every (arrival time, work) pair for a
+    generation up front; the event plane interleaves the same draws one
+    batch at a time through engine events.  For every batch size — 1
+    reproduces the seed cadence — both orderings must yield the
+    identical (time, work) stream from the shared RNG.
+    """
+    from dataclasses import replace
+
+    import numpy as np
+
+    from repro.workloads.functions import microbenchmark
+    from repro.workloads.generator import ArrivalGenerator
+    from repro.workloads.schedules import StaticRate
+
+    profile = replace(microbenchmark(0.05), name="prop-fn")
+
+    bulk = ArrivalGenerator(
+        SimulationEngine(), profile, StaticRate(rate, duration=duration),
+        dispatch=lambda request: None, rng=np.random.default_rng(seed),
+        slo_deadline=0.1, batch_size=batch_size,
+    )
+    times, works = bulk.materialize_arrivals()
+
+    pumped = []
+    engine = SimulationEngine()
+    generator = ArrivalGenerator(
+        engine, profile, StaticRate(rate, duration=duration),
+        dispatch=lambda request: pumped.append(
+            (request.arrival_time, request.work)),
+        rng=np.random.default_rng(seed), slo_deadline=0.1,
+        batch_size=batch_size,
+    )
+    generator.start()
+    engine.run()
+
+    assert times == [t for t, _ in pumped]
+    assert works == [w for _, w in pumped]
