@@ -22,6 +22,9 @@ Commands
     List the registered control-plane policies (every controller —
     LaSS and the baselines — is a registry entry usable as
     ``controller.policy`` in a scenario, or via ``simulate --policy``).
+``routers``
+    List the registered global router policies of the federation layer
+    (usable as ``federation.router`` in a scenario).
 ``scenario``
     Run one scenario — a registered name (``python -m repro scenario
     --list``) or a ``spec.json`` file — and emit the unified results
@@ -78,6 +81,15 @@ def _cmd_policies(args: argparse.Namespace) -> int:
 
     for name, summary in describe_policies():
         print(f"{name:<12} {summary}")
+    return 0
+
+
+def _cmd_routers(args: argparse.Namespace) -> int:
+    """Print the registered global router policies."""
+    from repro.federation.router import describe_routers
+
+    for name, summary in describe_routers().items():
+        print(f"{name:<20} {summary}")
     return 0
 
 
@@ -330,6 +342,10 @@ def build_parser() -> argparse.ArgumentParser:
     policies = sub.add_parser("policies",
                               help="list the registered control-plane policies")
     policies.set_defaults(func=_cmd_policies)
+
+    routers = sub.add_parser("routers",
+                             help="list the registered global router policies")
+    routers.set_defaults(func=_cmd_routers)
 
     simulate = sub.add_parser("simulate",
                               help="simulate one function under a control-plane policy")

@@ -25,10 +25,12 @@ the paper's numbers.
 | Figure 9       | :mod:`repro.experiments.fig9_azure` |
 | Figure 10*     | :mod:`repro.experiments.fig10_recovery` |
 | Figure 11*     | :mod:`repro.experiments.fig11_policies` |
+| Figure 12*     | :mod:`repro.experiments.fig12_federation` |
 
-(*) Figures 10 and 11 are this reproduction's own extensions — node
-failure recovery under fault injection, and the control-plane policy
-shootout — not figures of the source paper.
+(*) Figures 10–12 are this reproduction's own extensions — node
+failure recovery under fault injection, the control-plane policy
+shootout, and the geo-distributed federation router comparison — not
+figures of the source paper.
 """
 
 from typing import Callable, Dict, Optional
@@ -43,6 +45,7 @@ from repro.experiments.fig8_reclamation import run_fig8, Fig8Result
 from repro.experiments.fig9_azure import run_fig9, Fig9Result
 from repro.experiments.fig10_recovery import run_fig10, Fig10Result
 from repro.experiments.fig11_policies import run_fig11, Fig11Result
+from repro.experiments.fig12_federation import run_fig12, Fig12Result
 
 
 def _render_table1(duration: Optional[float]) -> str:
@@ -125,6 +128,17 @@ def _render_fig11(duration: Optional[float]) -> str:
     return format_fig11(run_fig11(duration=duration or 360.0))
 
 
+def _render_fig12(duration: Optional[float]) -> str:
+    """Figure 12 federation-router table (site faults head-to-head).
+
+    ``duration`` scales the whole timeline; the faulted arms lose (or
+    are partitioned from) the origin site for the middle third.
+    """
+    from repro.experiments.fig12_federation import format_fig12
+
+    return format_fig12(run_fig12(duration=duration or 240.0))
+
+
 #: Text renderer per paper experiment, keyed by scenario-registry name.
 RENDERERS: Dict[str, Callable[[Optional[float]], str]] = {
     "table1": _render_table1,
@@ -137,6 +151,7 @@ RENDERERS: Dict[str, Callable[[Optional[float]], str]] = {
     "fig9": _render_fig9,
     "fig10": _render_fig10,
     "fig11": _render_fig11,
+    "fig12": _render_fig12,
 }
 
 
@@ -180,4 +195,6 @@ __all__ = [
     "Fig10Result",
     "run_fig11",
     "Fig11Result",
+    "run_fig12",
+    "Fig12Result",
 ]

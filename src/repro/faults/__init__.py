@@ -8,12 +8,25 @@ contract.
 """
 
 from repro.faults.injector import FaultInjector
-from repro.faults.spec import ColdStartSpec, FaultSpec, NodeFailureSpec, node_outage
+from repro.faults.spec import (
+    ColdStartSpec,
+    FaultSpec,
+    NodeFailureSpec,
+    SiteBlackoutSpec,
+    WanPartitionSpec,
+    node_outage,
+    site_blackout,
+    wan_partition,
+)
 
 __all__ = [
     "ColdStartSpec",
     "FaultInjector",
     "FaultSpec",
     "NodeFailureSpec",
+    "SiteBlackoutSpec",
+    "WanPartitionSpec",
     "node_outage",
+    "site_blackout",
+    "wan_partition",
 ]

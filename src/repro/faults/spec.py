@@ -104,6 +104,155 @@ class NodeFailureSpec:
 
 
 @dataclass(frozen=True)
+class SiteBlackoutSpec:
+    """One scheduled whole-site blackout (and optional rejoin).
+
+    A blackout takes *every* node of a federated site down at once: all
+    running requests on the site fail, queued-but-undispatched requests
+    are salvaged and **parked at the federation level** until the site
+    rejoins (requeue-at-head on recovery).  While dark, the global
+    router treats the site as absent.
+
+    Attributes
+    ----------
+    site:
+        Name of the federated site that goes dark (must exist in the
+        scenario's :class:`~repro.federation.spec.FederationSpec`).
+    fail_at:
+        Simulation time of the blackout, in seconds.
+    recover_at:
+        Simulation time the site rejoins, or ``None`` for permanent loss.
+    rejoin_nodes:
+        Number of nodes the site rejoins with (``None`` = all of them).
+        A site may come back *smaller* than it left — this is exactly
+        the case the site-scoped
+        :class:`~repro.metrics.availability.AvailabilityTracker` mode
+        exists for: warm-capacity recovery targets are clamped to the
+        rejoined capacity instead of dangling forever.
+    """
+
+    site: str
+    fail_at: float
+    recover_at: Optional[float] = None
+    rejoin_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        """Validate the site name, timestamps, and rejoin node count."""
+        if not self.site:
+            raise ValueError("site name must be non-empty")
+        if not 0.0 <= self.fail_at < math.inf:
+            raise ValueError(f"fail_at must be finite and non-negative, got {self.fail_at}")
+        if self.recover_at is not None and not self.fail_at < self.recover_at < math.inf:
+            raise ValueError(
+                f"recover_at ({self.recover_at}) must be after fail_at ({self.fail_at})"
+            )
+        if self.rejoin_nodes is not None:
+            if self.recover_at is None:
+                raise ValueError("rejoin_nodes requires recover_at (a rejoin time)")
+            if int(self.rejoin_nodes) < 1:
+                raise ValueError(f"rejoin_nodes must be >= 1, got {self.rejoin_nodes}")
+            object.__setattr__(self, "rejoin_nodes", int(self.rejoin_nodes))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) view."""
+        return {
+            "site": self.site,
+            "fail_at": self.fail_at,
+            "recover_at": self.recover_at,
+            "rejoin_nodes": self.rejoin_nodes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SiteBlackoutSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            site=data["site"],
+            fail_at=float(data["fail_at"]),
+            recover_at=(float(data["recover_at"])
+                        if data.get("recover_at") is not None else None),
+            rejoin_nodes=(int(data["rejoin_nodes"])
+                          if data.get("rejoin_nodes") is not None else None),
+        )
+
+
+@dataclass(frozen=True)
+class WanPartitionSpec:
+    """One scheduled WAN partition of a federated site.
+
+    A partition is *not* a blackout: the global router loses sight of
+    the site (it stops scoring it and redirects around it), but the
+    site's **local control loop keeps running** — locally-originating
+    arrivals are still dispatched by the site's own
+    :class:`~repro.core.policy.ControlPolicy`, containers stay warm, and
+    requests complete.  On heal, the site's metrics envelope merges back
+    into the federation aggregate byte-deterministically.
+
+    Attributes
+    ----------
+    site:
+        Name of the partitioned site.
+    start_at:
+        Simulation time the partition starts, in seconds.
+    heal_at:
+        Simulation time the partition heals, or ``None`` if it never does.
+    """
+
+    site: str
+    start_at: float
+    heal_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        """Validate the site name and the partition window timestamps."""
+        if not self.site:
+            raise ValueError("site name must be non-empty")
+        if not 0.0 <= self.start_at < math.inf:
+            raise ValueError(f"start_at must be finite and non-negative, got {self.start_at}")
+        if self.heal_at is not None and not self.start_at < self.heal_at < math.inf:
+            raise ValueError(
+                f"heal_at ({self.heal_at}) must be after start_at ({self.start_at})"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-ready) view."""
+        return {"site": self.site, "start_at": self.start_at, "heal_at": self.heal_at}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WanPartitionSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            site=data["site"],
+            start_at=float(data["start_at"]),
+            heal_at=(float(data["heal_at"])
+                     if data.get("heal_at") is not None else None),
+        )
+
+
+def _validate_windows(kind: str, windows_by_key: Dict[str, list],
+                      start_of: Callable[[Any], float],
+                      end_of: Callable[[Any], Optional[float]]) -> None:
+    """Reject overlapping or post-permanent failure windows per key.
+
+    Shared by node failures, site blackouts, and WAN partitions: within
+    one node/site, windows must be disjoint and nothing may follow a
+    permanent (open-ended) window.
+    """
+    for key, windows in windows_by_key.items():
+        windows.sort(key=start_of)
+        for earlier, later in zip(windows, windows[1:]):
+            if end_of(earlier) is None:
+                raise ValueError(
+                    f"{kind} {key!r}: permanent window at t={start_of(earlier)} "
+                    f"cannot be followed by another window"
+                )
+            if start_of(later) < end_of(earlier):
+                raise ValueError(
+                    f"{kind} {key!r}: windows overlap "
+                    f"([{start_of(earlier)}, {end_of(earlier)}] and "
+                    f"[{start_of(later)}, {end_of(later)}])"
+                )
+
+
+@dataclass(frozen=True)
 class ColdStartSpec:
     """A cold-start latency distribution replacing the constant config value.
 
@@ -177,12 +326,18 @@ class FaultSpec:
     cold_start:
         Optional cold-start latency distribution replacing the cluster
         config's constant.
+    site_blackouts:
+        Scheduled whole-site blackouts (federated scenarios only).
+    wan_partitions:
+        Scheduled WAN partitions (federated scenarios only).
     """
 
     node_failures: Tuple[NodeFailureSpec, ...] = ()
     crash_probability: float = 0.0
     crash_functions: Optional[Tuple[str, ...]] = None
     cold_start: Optional[ColdStartSpec] = None
+    site_blackouts: Tuple[SiteBlackoutSpec, ...] = ()
+    wan_partitions: Tuple[WanPartitionSpec, ...] = ()
 
     def __post_init__(self) -> None:
         """Validate the crash probability and freeze the collections.
@@ -220,6 +375,26 @@ class FaultSpec:
         object.__setattr__(self, "node_failures", failures)
         if self.crash_functions is not None:
             object.__setattr__(self, "crash_functions", tuple(self.crash_functions))
+        blackouts = tuple(
+            b if isinstance(b, SiteBlackoutSpec) else SiteBlackoutSpec.from_dict(b)
+            for b in self.site_blackouts
+        )
+        by_site: Dict[str, list] = {}
+        for blackout in blackouts:
+            by_site.setdefault(blackout.site, []).append(blackout)
+        _validate_windows("site blackout", by_site,
+                          lambda b: b.fail_at, lambda b: b.recover_at)
+        object.__setattr__(self, "site_blackouts", blackouts)
+        partitions = tuple(
+            p if isinstance(p, WanPartitionSpec) else WanPartitionSpec.from_dict(p)
+            for p in self.wan_partitions
+        )
+        by_site = {}
+        for partition in partitions:
+            by_site.setdefault(partition.site, []).append(partition)
+        _validate_windows("wan partition", by_site,
+                          lambda p: p.start_at, lambda p: p.heal_at)
+        object.__setattr__(self, "wan_partitions", partitions)
 
     def is_empty(self) -> bool:
         """Whether this spec injects nothing at all.
@@ -230,17 +405,39 @@ class FaultSpec:
         """
         return (not self.node_failures
                 and self.crash_probability == 0.0
-                and self.cold_start is None)
+                and self.cold_start is None
+                and not self.site_blackouts
+                and not self.wan_partitions)
+
+    def has_site_faults(self) -> bool:
+        """Whether this spec contains federation-level (site) faults."""
+        return bool(self.site_blackouts or self.wan_partitions)
+
+    def has_node_faults(self) -> bool:
+        """Whether this spec contains single-cluster (node/crash/cold) faults."""
+        return (bool(self.node_failures)
+                or self.crash_probability != 0.0
+                or self.cold_start is not None)
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict (JSON-ready) view of the whole fault schedule."""
-        return {
+        """Plain-dict (JSON-ready) view of the whole fault schedule.
+
+        The federation keys are emitted only when non-empty so every
+        pre-federation spec — and therefore every recorded envelope —
+        keeps its exact historical bytes.
+        """
+        data = {
             "node_failures": [f.to_dict() for f in self.node_failures],
             "crash_probability": self.crash_probability,
             "crash_functions": (list(self.crash_functions)
                                 if self.crash_functions is not None else None),
             "cold_start": self.cold_start.to_dict() if self.cold_start is not None else None,
         }
+        if self.site_blackouts:
+            data["site_blackouts"] = [b.to_dict() for b in self.site_blackouts]
+        if self.wan_partitions:
+            data["wan_partitions"] = [p.to_dict() for p in self.wan_partitions]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
@@ -256,6 +453,12 @@ class FaultSpec:
                              if crash_functions is not None else None),
             cold_start=(ColdStartSpec.from_dict(cold_start)
                         if cold_start is not None else None),
+            site_blackouts=tuple(
+                SiteBlackoutSpec.from_dict(b) for b in data.get("site_blackouts", ())
+            ),
+            wan_partitions=tuple(
+                WanPartitionSpec.from_dict(p) for p in data.get("wan_partitions", ())
+            ),
         )
 
 
@@ -274,4 +477,27 @@ def node_outage(node: str, fail_at: float, recover_at: Optional[float],
     return FaultSpec(node_failures=tuple(failures))
 
 
-__all__ = ["NodeFailureSpec", "ColdStartSpec", "FaultSpec", "node_outage"]
+def site_blackout(site: str, fail_at: float, recover_at: Optional[float],
+                  rejoin_nodes: Optional[int] = None) -> FaultSpec:
+    """Convenience builder: one whole-site blackout window."""
+    return FaultSpec(site_blackouts=(
+        SiteBlackoutSpec(site, fail_at, recover_at, rejoin_nodes),
+    ))
+
+
+def wan_partition(site: str, start_at: float,
+                  heal_at: Optional[float]) -> FaultSpec:
+    """Convenience builder: one WAN-partition window."""
+    return FaultSpec(wan_partitions=(WanPartitionSpec(site, start_at, heal_at),))
+
+
+__all__ = [
+    "NodeFailureSpec",
+    "ColdStartSpec",
+    "FaultSpec",
+    "SiteBlackoutSpec",
+    "WanPartitionSpec",
+    "node_outage",
+    "site_blackout",
+    "wan_partition",
+]

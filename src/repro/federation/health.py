@@ -1,0 +1,104 @@
+"""Deterministic site health checking with exponential probe backoff.
+
+The global router never inspects site liveness directly — it routes on
+the :class:`SiteHealthMonitor`'s *belief*, which is updated only by
+periodic probes.  That gap is deliberate and load-bearing:
+
+* between a blackout and the next probe, the router still believes the
+  site healthy, so dispatches land on a dead site and **bounce** — the
+  redirect/hop-bound machinery gets real work;
+* while a dead site is down, probes retry with deterministic
+  exponential backoff (``base * 2^k``, capped), the "deterministic
+  retry/backoff on a dead site" half of the failover contract;
+* on recovery, the next scheduled probe flips the belief back and
+  traffic returns — no instantaneous global knowledge anywhere.
+
+Everything is scheduled at
+:data:`~repro.sim.engine.SimulationEngine.PRIORITY_CONTROL` from fixed
+spec knobs, so the probe timeline — and with it every routing decision
+— is a pure function of ``(scenario, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+from repro.sim.engine import SimulationEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.cluster import FederatedCluster
+
+
+class SiteHealthMonitor:
+    """Probe-driven health beliefs for every federated site."""
+
+    def __init__(self, engine: SimulationEngine, federation: "FederatedCluster",
+                 probe_interval: float, backoff_base: float,
+                 backoff_cap: float) -> None:
+        """Start believing every site healthy (probes begin at ``start()``)."""
+        self.engine = engine
+        self.federation = federation
+        self.probe_interval = float(probe_interval)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._healthy: Dict[str, bool] = {
+            site.name: True for site in federation.sites
+        }
+        self._consecutive_failures: Dict[str, int] = {
+            site.name: 0 for site in federation.sites
+        }
+        #: ``(time, site, healthy)`` belief transitions, in probe order.
+        self.transitions: List[Tuple[float, str, bool]] = []
+        #: Total probes sent (healthy + failed), for the stats envelope.
+        self.probes_sent = 0
+
+    def start(self) -> None:
+        """Schedule the first probe of every site, in federation order."""
+        for site in self.federation.sites:
+            self.engine.call_later(self.probe_interval, self._probe, site.name,
+                                   priority=SimulationEngine.PRIORITY_CONTROL)
+
+    def healthy(self, site_name: str) -> bool:
+        """The monitor's current *belief* about one site."""
+        return self._healthy[site_name]
+
+    def healthy_sites(self) -> List[str]:
+        """Believed-healthy site names, in federation order."""
+        return [site.name for site in self.federation.sites
+                if self._healthy[site.name]]
+
+    def mark_unreachable(self, site_name: str) -> None:
+        """Fast-path belief update from a bounced delivery.
+
+        A dispatch that bounces off a dead or partitioned site is as
+        good as a failed probe: the runtime reports it here so the
+        router stops scoring the site immediately instead of waiting
+        for the next scheduled probe.  The probe loop keeps running and
+        still owns recovery detection (with backoff).
+        """
+        if self._healthy[site_name]:
+            self._healthy[site_name] = False
+            self._consecutive_failures[site_name] = max(
+                1, self._consecutive_failures[site_name])
+            self.transitions.append((self.engine.now, site_name, False))
+
+    def _probe(self, site_name: str) -> None:
+        """Probe one site and reschedule per the healthy/backoff policy."""
+        site = self.federation.site(site_name)
+        self.probes_sent += 1
+        up = site.alive and site.reachable
+        if up != self._healthy[site_name]:
+            self._healthy[site_name] = up
+            self.transitions.append((self.engine.now, site_name, up))
+        if up:
+            self._consecutive_failures[site_name] = 0
+            delay = self.probe_interval
+        else:
+            failures = self._consecutive_failures[site_name]
+            delay = min(self.backoff_cap, self.backoff_base * (2.0 ** failures))
+            self._consecutive_failures[site_name] = failures + 1
+        self.engine.call_later(delay, self._probe, site_name,
+                               priority=SimulationEngine.PRIORITY_CONTROL)
+
+
+__all__ = ["SiteHealthMonitor"]

@@ -1,0 +1,130 @@
+"""Built-in global-router policies: nearest-site, latency-aware, spillover.
+
+Each router is a pure scoring function over the believed-healthy
+candidate set (see :mod:`repro.federation.router` for the contract).
+All three are fully deterministic: scores depend only on simulation
+state, and ties break toward federation spec order (the order of the
+``candidates`` sequence), so runs remain pure functions of
+``(scenario, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.federation.router import GlobalRouterPolicy, register_router
+
+
+def _reject_unknown_params(allowed: Sequence[str], params: Mapping[str, Any]) -> None:
+    """Fail loudly on unrecognised router parameters."""
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown router params {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def _validate_no_params(params: Mapping[str, Any]) -> None:
+    """Validator for routers that take no parameters."""
+    _reject_unknown_params((), params)
+
+
+@register_router(
+    "nearest-site",
+    "serve at the origin site; on failure, the lowest-WAN-latency healthy site",
+    validate_params=_validate_no_params,
+)
+class NearestSiteRouter(GlobalRouterPolicy):
+    """Geographic affinity: minimise WAN transit, ignore load.
+
+    The origin always wins while healthy (its latency to itself is 0);
+    when it is down, traffic moves to the closest healthy site.  This
+    is the baseline that shows why load-blind failover hurts: the whole
+    origin load lands on one neighbour.
+    """
+
+    def choose_site(self, request, origin: str,
+                    candidates: Sequence[str]) -> Optional[str]:
+        """Pick the candidate with the lowest WAN latency from the origin."""
+        federation = self.context.federation
+        return min(candidates, key=lambda name: federation.latency(origin, name))
+
+
+@register_router(
+    "latency-aware",
+    "minimise WAN latency + expected queueing wait (least expected response start)",
+    validate_params=_validate_no_params,
+)
+class LatencyAwareRouter(GlobalRouterPolicy):
+    """Least-expected-wait routing: WAN transit plus queueing estimate.
+
+    Scores every healthy site by ``latency(origin, site) +
+    expected_wait(site, function)`` where the expected wait accounts
+    for queue depth, warm capacity, and cold starts
+    (:meth:`~repro.federation.cluster.FederatedSite.expected_wait`).
+    Under a blackout this spreads the displaced load across surviving
+    sites in proportion to their actual headroom — the graceful
+    degradation the fig12 experiment measures.
+    """
+
+    def choose_site(self, request, origin: str,
+                    candidates: Sequence[str]) -> Optional[str]:
+        """Pick the candidate minimising transit + expected queueing wait."""
+        federation = self.context.federation
+        def score(name: str) -> float:
+            site = federation.site(name)
+            return (federation.latency(origin, name)
+                    + site.expected_wait(request.function_name))
+        return min(candidates, key=score)
+
+
+def _validate_spillover_params(params: Mapping[str, Any]) -> None:
+    """Validate the spillover router's parameters eagerly."""
+    _reject_unknown_params(("cloud_site", "spill_threshold"), params)
+    cloud = params.get("cloud_site")
+    if cloud is not None and (not isinstance(cloud, str) or not cloud):
+        raise ValueError("router_params['cloud_site'] must be a non-empty site name")
+    threshold = params.get("spill_threshold")
+    if threshold is not None:
+        threshold = float(threshold)
+        if threshold <= 0:
+            raise ValueError("router_params['spill_threshold'] must be positive")
+
+
+@register_router(
+    "spillover-to-cloud",
+    "serve at the origin edge until its expected wait exceeds a threshold, then spill to the cloud site",
+    validate_params=_validate_spillover_params,
+)
+class SpilloverToCloudRouter(GlobalRouterPolicy):
+    """Edge-first with cloud overflow (the KubeEdge cloud-core shape).
+
+    Keeps traffic at the origin edge while its expected wait stays
+    under ``spill_threshold`` (default 0.5 s); beyond that — or when
+    the origin is down — requests spill to the designated cloud site.
+    If the cloud itself is unreachable, falls back to the lowest-WAN-
+    latency healthy site, so a cloud outage degrades to nearest-site
+    behaviour instead of dropping traffic.
+    """
+
+    #: Default expected-wait threshold (seconds) before spilling.
+    DEFAULT_SPILL_THRESHOLD = 0.5
+
+    def choose_site(self, request, origin: str,
+                    candidates: Sequence[str]) -> Optional[str]:
+        """Origin while under threshold, else cloud, else nearest healthy."""
+        federation = self.context.federation
+        threshold = float(self.params.get("spill_threshold",
+                                          self.DEFAULT_SPILL_THRESHOLD))
+        if origin in candidates:
+            site = federation.site(origin)
+            if site.expected_wait(request.function_name) <= threshold:
+                return origin
+        cloud = self.context.spec.cloud_site()
+        if cloud is not None and cloud in candidates and cloud != origin:
+            return cloud
+        remaining = [name for name in candidates if name != cloud] or list(candidates)
+        return min(remaining, key=lambda name: federation.latency(origin, name))
+
+
+__all__ = ["NearestSiteRouter", "LatencyAwareRouter", "SpilloverToCloudRouter"]

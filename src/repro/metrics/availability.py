@@ -24,16 +24,29 @@ cannot perturb determinism.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 @dataclass
 class RecoveryRecord:
-    """The lifecycle of one node failure, from outage to restored service.
+    """The lifecycle of one failure, from outage to restored service.
 
     ``recovery_time`` is ``None`` while the controller has not yet
     restored every affected function's pre-failure warm-container count
     (or forever, if the capacity to do so no longer exists).
+
+    ``scope`` distinguishes the two failure granularities:
+
+    * ``"node"`` (the default, and the historical behaviour) — one node
+      failed; recovery means every affected function is back at its
+      pre-failure cluster-wide warm count.
+    * ``"site"`` — a whole site went dark (federation blackouts).  A
+      site may *rejoin with a different node set* than it lost, so the
+      pre-failure warm targets are clamped proportionally to the
+      rejoined capacity when :meth:`AvailabilityTracker.site_rejoined`
+      fires — otherwise a site that comes back smaller could never
+      reach its old warm counts and the record would dangle open
+      forever.
     """
 
     node: str
@@ -43,6 +56,8 @@ class RecoveryRecord:
     #: per-function warm-container counts to restore (cluster-wide)
     warm_targets: Dict[str, int]
     recovery_time: Optional[float] = None
+    #: failure granularity: ``"node"`` (default) or ``"site"``
+    scope: str = "node"
 
     @property
     def recovered(self) -> bool:
@@ -50,14 +65,22 @@ class RecoveryRecord:
         return self.recovery_time is not None
 
     def as_dict(self) -> Dict[str, Any]:
-        """JSON-ready view (used in the scenario results ``faults`` group)."""
-        return {
+        """JSON-ready view (used in the scenario results ``faults`` group).
+
+        ``scope`` is emitted only when non-default, so every node-scoped
+        record — and therefore every fig10-era envelope — keeps its
+        exact historical bytes.
+        """
+        data = {
             "node": self.node,
             "fail_at": self.fail_at,
             "recover_at": self.recover_at,
             "containers_lost": self.containers_lost,
             "recovery_time": self.recovery_time,
         }
+        if self.scope != "node":
+            data["scope"] = self.scope
+        return data
 
 
 class AvailabilityTracker:
@@ -108,6 +131,81 @@ class AvailabilityTracker:
     def open_records(self) -> List[RecoveryRecord]:
         """Failures whose service has not yet been restored."""
         return [r for r in self.records if not r.recovered]
+
+    # ------------------------------------------------------------------
+    # Site-scoped records (federation blackouts)
+    # ------------------------------------------------------------------
+    def open_site_record(self, site: str, fail_at: float,
+                         containers_lost: int,
+                         warm_targets: Dict[str, int]) -> RecoveryRecord:
+        """Register a whole-site blackout whose recovery should be tracked.
+
+        ``warm_targets`` captures the pre-blackout warm counts; an empty
+        mapping (the site held no warm capacity) means there is nothing
+        to restore, so the recovery time is zero by definition.
+        """
+        record = RecoveryRecord(
+            node=site,
+            fail_at=fail_at,
+            recover_at=None,
+            containers_lost=containers_lost,
+            warm_targets=dict(warm_targets),
+            scope="site",
+        )
+        if not record.warm_targets:
+            record.recovery_time = 0.0
+        self.records.append(record)
+        return record
+
+    def site_rejoined(self, site: str, recover_at: float,
+                      capacity_ratio: float) -> Optional[RecoveryRecord]:
+        """Mark a blacked-out site as rejoined, clamping its warm targets.
+
+        A site may rejoin with a *different* node set than it lost
+        (fewer nodes, smaller capacity).  Holding it to its pre-failure
+        warm counts would leave the record dangling open forever, so
+        each target is clamped to ``min(target, max(1, target * ratio))``
+        — proportional to the capacity that actually came back, but
+        never below one warm container per affected function.  A ratio
+        of zero (nothing rejoined) leaves the record open: the site
+        genuinely never recovered.
+        """
+        for record in self.records:
+            if (record.scope != "site" or record.node != site
+                    or record.recovered or record.recover_at is not None):
+                continue
+            record.recover_at = float(recover_at)
+            if capacity_ratio <= 0.0:
+                record.recover_at = None
+                return None
+            if capacity_ratio < 1.0:
+                record.warm_targets = {
+                    name: min(target, max(1, int(target * capacity_ratio)))
+                    for name, target in record.warm_targets.items()
+                }
+            return record
+        return None
+
+    def check_site_recovery(self, site: str, now: float,
+                            warm_count_of: Callable[[str], int]) -> bool:
+        """Close site records whose (clamped) warm targets are all met.
+
+        Called from the warm-container hook of the rejoined site's
+        cluster.  ``warm_count_of`` maps a function name to its current
+        site-wide warm count — deliberately node-set-agnostic, so any
+        mix of rejoined nodes satisfies the target.  Returns ``True``
+        if at least one record closed.
+        """
+        closed = False
+        for record in self.records:
+            if (record.scope != "site" or record.node != site
+                    or record.recovered or record.recover_at is None):
+                continue
+            if all(warm_count_of(name) >= target
+                   for name, target in record.warm_targets.items()):
+                record.recovery_time = now - record.fail_at
+                closed = True
+        return closed
 
     def recovery_times(self) -> List[float]:
         """Recovery durations of the failures that did recover, in order."""

@@ -25,7 +25,14 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.faults.spec import ColdStartSpec, FaultSpec, NodeFailureSpec
+from repro.faults.spec import (
+    ColdStartSpec,
+    FaultSpec,
+    NodeFailureSpec,
+    SiteBlackoutSpec,
+    WanPartitionSpec,
+)
+from repro.federation.spec import FederationSpec, SiteSpec
 from repro.scenarios.spec import (
     AllocationSpec,
     ClusterSpec,
@@ -784,6 +791,183 @@ def _fig11(duration: float = 360.0, seed: int = 11,
 
 
 # ----------------------------------------------------------------------
+# Federation / Figure 12: geo-distributed sites under a global router
+# ----------------------------------------------------------------------
+#: The global routers compared head-to-head in the Figure 12 experiment.
+FIG12_ROUTERS: Tuple[str, ...] = ("nearest-site", "latency-aware", "spillover-to-cloud")
+
+
+def _fig12_federation(router: str = "latency-aware") -> FederationSpec:
+    """The canonical three-site topology every federated scenario shares.
+
+    Two small edge sites plus one large cloud site, with a WAN matrix
+    where the edge pair is close (20 ms) and the cloud is far (80 ms
+    from the origin region).  All traffic originates at ``edge-a``, so
+    a fault there forces the router to earn its keep.
+    """
+    return FederationSpec(
+        sites=(
+            SiteSpec(name="edge-a", node_count=3, cpu_per_node=4.0),
+            SiteSpec(name="edge-b", node_count=2, cpu_per_node=4.0),
+            SiteSpec(name="cloud", node_count=6, cpu_per_node=8.0,
+                     memory_per_node_mb=32 * 1024.0, cold_start_latency=1.5,
+                     cloud=True),
+        ),
+        router=router,
+        wan_latency=0.05,
+        wan_overrides={"edge-a->edge-b": 0.02, "edge-a->cloud": 0.08},
+        origins={"geofence": "edge-a", "squeezenet": "edge-a"},
+        probe_interval=5.0,
+        max_redirects=3,
+    )
+
+
+def _federated_base(name: str, duration: float, seed: int, router: str,
+                    description: str,
+                    faults: Optional[FaultSpec] = None) -> ScenarioSpec:
+    """One federated scenario on the shared three-site topology."""
+    return ScenarioSpec(
+        name=name,
+        kind="simulate",
+        description=description,
+        workloads=(
+            WorkloadSpec(
+                function="geofence",
+                schedule=ScheduleSpec.static(rate=30.0, duration=duration),
+                slo_deadline=0.1,
+            ),
+            WorkloadSpec(
+                function="squeezenet",
+                schedule=ScheduleSpec.static(rate=10.0, duration=duration),
+                slo_deadline=0.2,
+            ),
+        ),
+        duration=duration,
+        warmup=20.0,
+        seed=seed,
+        warm_start={"geofence": 1, "squeezenet": 1},
+        metrics=("waiting", "slo", "utilization", "counters", "generated"),
+        federation=_fig12_federation(router),
+        faults=faults if faults is not None else FaultSpec(),
+    )
+
+
+def _fig12_blackout(duration: float) -> FaultSpec:
+    """The Figure 12 outage: edge-a dark for the middle third, rejoins smaller.
+
+    Fault times sit *off* the 5 s probe grid so the router's belief lags
+    reality — the detection window is what exercises bounce/redirect.
+    """
+    return FaultSpec(site_blackouts=(
+        SiteBlackoutSpec("edge-a", fail_at=duration / 3 + 2.0,
+                         recover_at=2 * duration / 3 + 2.0, rejoin_nodes=2),
+    ))
+
+
+def _fig12_partition(duration: float) -> FaultSpec:
+    """The Figure 12 WAN partition: same window as the blackout, no capacity loss."""
+    return FaultSpec(wan_partitions=(
+        WanPartitionSpec("edge-a", start_at=duration / 3 + 2.0,
+                         heal_at=2 * duration / 3 + 2.0),
+    ))
+
+
+@register("site-outage-failover",
+          "A full site blackout mid-run: the global router fails traffic over "
+          "and the site rejoins with fewer nodes",
+          tags=("faults", "federation", "example"))
+def _site_outage_failover(duration: float = 300.0, seed: int = 12,
+                          router: str = "latency-aware") -> ScenarioSpec:
+    """Edge-a goes dark for the middle third and rejoins with 2 of 3 nodes."""
+    return _federated_base(
+        "site-outage-failover", duration, seed, router,
+        description="All traffic lands on edge-a, which blacks out mid-run; "
+                    "the router redirects to edge-b/cloud and the site "
+                    "rejoins at two-thirds capacity",
+        faults=_fig12_blackout(duration),
+    )
+
+
+@register("partitioned-control-plane",
+          "A WAN partition isolates a site from the router while its local "
+          "control loop keeps serving (edge autonomy)",
+          tags=("faults", "federation", "example"))
+def _partitioned_control_plane(duration: float = 300.0, seed: int = 12,
+                               router: str = "nearest-site") -> ScenarioSpec:
+    """Edge-a is unreachable (not dead) for the middle third of the run."""
+    return _federated_base(
+        "partitioned-control-plane", duration, seed, router,
+        description="The WAN path to edge-a is cut: global traffic routes "
+                    "around it while its own arrivals keep being served "
+                    "locally, and its metrics merge back on heal",
+        faults=_fig12_partition(duration),
+    )
+
+
+@register("flash-crowd-one-region",
+          "A flash crowd lands on one region and must spill to the cloud",
+          tags=("federation", "example"))
+def _flash_crowd_one_region(duration: float = 300.0, seed: int = 12,
+                            surge_rate: float = 120.0,
+                            router: str = "spillover-to-cloud") -> ScenarioSpec:
+    """Geofence traffic at edge-a surges far past the region's capacity."""
+    third = duration / 3
+    spec = _federated_base(
+        "flash-crowd-one-region", duration, seed, router,
+        description="Geofence arrivals at edge-a quadruple for the middle "
+                    "third of the run; the spillover router sheds the "
+                    "overflow to the cloud site",
+    )
+    surge = WorkloadSpec(
+        function="geofence",
+        schedule=ScheduleSpec.steps(
+            ((0.0, 30.0), (third, surge_rate), (2 * third, 30.0)),
+            duration=duration),
+        slo_deadline=0.1,
+    )
+    return dataclasses.replace(spec, workloads=(surge,) + spec.workloads[1:])
+
+
+@register("fig12", "Figure 12: global-router comparison across healthy, "
+                   "site-blackout, and WAN-partition arms (identical seeds)",
+          tags=("paper",))
+def _fig12(duration: float = 240.0, seed: int = 12,
+           routers: Sequence[str] = FIG12_ROUTERS) -> SweepSpec:
+    """The federation experiment: every router through every failure mode.
+
+    Nine arms — three routers × {healthy, blackout, partition} — all on
+    ``seed_mode="base"`` so every arm replays identical arrival and
+    service randomness; differences are caused by the router policy and
+    the fault schedule alone, the same same-randomness design as the
+    Figure 10/11 comparisons.
+    """
+    base = _federated_base(
+        "fig12", duration, seed, "latency-aware",
+        description="Three-site federation (two edge regions + cloud) under "
+                    "each global router, healthy and through site-level faults",
+        faults=_fig12_blackout(duration),
+    )
+    blackout = _fig12_blackout(duration).to_dict()
+    partition = _fig12_partition(duration).to_dict()
+    points: List[Dict[str, Any]] = []
+    for router in routers:
+        points.append({"name": f"fig12-{router}-healthy",
+                       "federation.router": router, "faults": None})
+        points.append({"name": f"fig12-{router}-blackout",
+                       "federation.router": router, "faults": blackout})
+        points.append({"name": f"fig12-{router}-partition",
+                       "federation.router": router, "faults": partition})
+    return SweepSpec(
+        name="fig12",
+        base=base,
+        points=tuple(points),
+        seed_mode="base",  # every arm faces identical workload randomness
+        description="Global-router comparison on identical seeds and "
+                    "site-fault schedules",
+    )
+
+
+# ----------------------------------------------------------------------
 # Example workloads (examples/*.py expressed as scenarios)
 # ----------------------------------------------------------------------
 @register("quickstart", "One SqueezeNet function under LaSS at a constant 20 req/s",
@@ -870,6 +1054,7 @@ def _azure_replay(duration_minutes: int = 15, seed: int = 9,
 
 __all__ = [
     "FIG7_FUNCTIONS",
+    "FIG12_ROUTERS",
     "SHOOTOUT_POLICIES",
     "FIG9_SLO_DEADLINES",
     "FIG9_USER_ASSIGNMENT",

@@ -30,6 +30,9 @@ Results schema (``repro/scenario-result@1``)
       "faults": {...}          # only when the spec carries a FaultSpec:
                                # availability, failed/requeued requests,
                                # per-failure recovery times
+      "federation": {...}      # federated scenarios only: router stats,
+                               # health-belief transitions, per-site
+                               # summaries (see repro.federation.runner)
     }
 
 Only the metric groups named in ``spec.metrics`` are populated.  The
@@ -147,6 +150,8 @@ def _run_simulate(spec: ScenarioSpec) -> ScenarioOutcome:
     from repro.core.allocation.hierarchy import SchedulingTree
     from repro.simulation import SimulationRunner
 
+    if spec.federation is not None:
+        return _run_federated(spec)
     bindings = [w.build() for w in spec.workloads]
     tree = None
     if spec.user_weights is not None:
@@ -180,6 +185,42 @@ def _run_simulate(spec: ScenarioSpec) -> ScenarioOutcome:
         # present exactly when the (normalised) spec carries faults, so a
         # faults-disabled run stays byte-identical to the healthy scenario
         data["faults"] = runner.fault_injector.report(spec.duration)
+    return ScenarioOutcome(spec=spec, data=data, sim=result)
+
+
+# ----------------------------------------------------------------------
+# kind = "simulate" with a federation spec
+# ----------------------------------------------------------------------
+def _run_federated(spec: ScenarioSpec) -> ScenarioOutcome:
+    """Federated run: N sites under a global router.
+
+    Rides the same envelope machinery as the single-cluster executor —
+    ``metrics`` comes from the merged per-site collectors — plus a
+    ``federation`` group (router stats, health-belief transitions,
+    per-site summaries) and, when site faults are armed, a ``faults``
+    group with per-site + federation-level availability and recovery
+    times.
+    """
+    from repro.federation.runner import FederatedSimulationRunner
+
+    bindings = [w.build() for w in spec.workloads]
+    runner = FederatedSimulationRunner(
+        workloads=bindings,
+        federation=spec.federation,
+        controller_config=spec.controller.build(),
+        seed=spec.seed,
+        warm_start_containers=dict(spec.warm_start) or None,
+        fault_spec=spec.faults,
+    )
+    result = runner.run(duration=spec.duration, extra_drain=spec.extra_drain)
+    data = _envelope(
+        spec,
+        metrics=_collect_metrics(spec, result),
+        federation=runner.federation_report(),
+    )
+    if runner.fault_injector is not None:
+        data["faults"] = runner.fault_injector.report(
+            spec.duration, result.metrics.counters)
     return ScenarioOutcome(spec=spec, data=data, sim=result)
 
 

@@ -50,6 +50,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 from repro.cluster.cluster import ClusterConfig
 from repro.core.controller import ControllerConfig, ReclamationPolicy
 from repro.faults.spec import FaultSpec
+from repro.federation.spec import FederationSpec
 from repro.workloads.functions import FunctionProfile, get_function, microbenchmark
 from repro.workloads.generator import WorkloadBinding
 from repro.workloads.schedules import (
@@ -512,6 +513,15 @@ class ScenarioSpec:
         *empty* fault spec is normalised to ``None`` at construction,
         so a faults-disabled scenario serialises — and therefore runs
         and reports — byte-identically to the healthy scenario.
+    federation:
+        Optional :class:`~repro.federation.spec.FederationSpec`
+        (``simulate`` kind, event data plane only): run the workloads
+        across N federated edge sites under a global router instead of
+        one cluster.  Federated scenarios size their clusters per site
+        (``cluster`` must stay ``None``), take only *site-level* faults
+        (``site_blackouts`` / ``wan_partitions``), and do not support
+        the ``timeline`` / ``guaranteed_cpu`` metric groups or
+        ``user_weights``.
     """
 
     name: str
@@ -530,6 +540,7 @@ class ScenarioSpec:
     params: Mapping[str, Any] = field(default_factory=dict)
     extra_drain: float = 5.0
     faults: Optional[FaultSpec] = None
+    federation: Optional[FederationSpec] = None
     #: which data plane executes the request lifecycle: ``"event"`` (the
     #: default and oracle) or ``"columnar"`` (the vectorized kernel; falls
     #: back to the event plane for policies without a columnar plan).
@@ -579,6 +590,60 @@ class ScenarioSpec:
                 object.__setattr__(self, "faults", None)
             elif self.kind != "simulate":
                 raise ValueError("faults are only supported for kind 'simulate'")
+        if self.federation is not None and not isinstance(self.federation, FederationSpec):
+            object.__setattr__(self, "federation",
+                               FederationSpec.from_dict(self.federation))
+        if self.federation is not None:
+            if self.kind != "simulate":
+                raise ValueError("federation is only supported for kind 'simulate'")
+            if self.data_plane != "event":
+                raise ValueError("federated scenarios require data_plane='event'")
+            if self.cluster is not None:
+                raise ValueError(
+                    "federated scenarios size their clusters per site; cluster must be None"
+                )
+            if self.user_weights is not None:
+                raise ValueError("federated scenarios do not support user_weights")
+            unsupported = [m for m in self.metrics
+                           if m in ("timeline", "guaranteed_cpu")]
+            if unsupported:
+                raise ValueError(
+                    f"federated scenarios do not support metrics {unsupported}"
+                )
+            site_names = set(self.federation.site_names())
+            for function, site in self.federation.origins.items():
+                if function not in names:
+                    raise ValueError(
+                        f"federation.origins names unknown function {function!r}"
+                    )
+            if self.faults is not None:
+                if self.faults.has_node_faults():
+                    raise ValueError(
+                        "federated scenarios take site-level faults only "
+                        "(site_blackouts / wan_partitions)"
+                    )
+                for blackout in self.faults.site_blackouts:
+                    if blackout.site not in site_names:
+                        raise ValueError(
+                            f"site_blackouts references unknown site {blackout.site!r}"
+                        )
+                    if (blackout.rejoin_nodes is not None
+                            and blackout.rejoin_nodes
+                            > self.federation.site(blackout.site).node_count):
+                        raise ValueError(
+                            f"site {blackout.site!r}: rejoin_nodes="
+                            f"{blackout.rejoin_nodes} exceeds node_count"
+                        )
+                for partition in self.faults.wan_partitions:
+                    if partition.site not in site_names:
+                        raise ValueError(
+                            f"wan_partitions references unknown site {partition.site!r}"
+                        )
+        elif self.faults is not None and self.faults.has_site_faults():
+            raise ValueError(
+                "site-level faults (site_blackouts / wan_partitions) require "
+                "a federation spec"
+            )
         object.__setattr__(self, "workloads", tuple(self.workloads))
         object.__setattr__(self, "metrics", tuple(self.metrics))
         object.__setattr__(self, "warm_start", _freeze(dict(self.warm_start)))
@@ -617,6 +682,8 @@ class ScenarioSpec:
         }
         if self.data_plane != "event":
             data["data_plane"] = self.data_plane
+        if self.federation is not None:
+            data["federation"] = self.federation.to_dict()
         return data
 
     @classmethod
@@ -645,6 +712,8 @@ class ScenarioSpec:
             extra_drain=float(data.get("extra_drain", 5.0)),
             faults=(FaultSpec.from_dict(data["faults"])
                     if data.get("faults") is not None else None),
+            federation=(FederationSpec.from_dict(data["federation"])
+                        if data.get("federation") is not None else None),
             data_plane=data.get("data_plane", "event"),
         )
 

@@ -85,6 +85,8 @@ _CREATABLE_OVERRIDE_PATHS = frozenset({
     "controller.policy",
     "controller.policy_params",
     "data_plane",
+    "federation.router",
+    "federation.router_params",
 })
 
 

@@ -72,6 +72,11 @@ from repro.cluster.container import ContainerState
 from repro.sim import request as request_module
 from repro.sim.request import Request, RequestStatus
 
+#: Idle-candidate count at which the WRR pick switches to the
+#: vectorized scoring path; below it, list/array setup costs more than
+#: the scalar scan saves.
+_VECTOR_PICK_MIN = 8
+
 #: Column status codes (kept tiny so the column is a ``bytearray``).
 _UNSEEN = 0     #: arrival not yet processed
 _QUEUED = 1     #: waiting in the function's shared queue
@@ -536,21 +541,51 @@ class ColumnarKernel:
                 if cid not in idle_ids and cid in scores:
                     del scores[cid]
             pending.clear()
-        total_weight = 0.0
-        best: Optional[_Slot] = None
-        best_index = -1
-        best_score = -inf
         get_score = scores.get
-        for index, slot in enumerate(idle):
-            weight = slot.weight
-            total_weight += weight
-            score = get_score(slot.cid, 0.0) + weight
-            scores[slot.cid] = score
-            if score > best_score + 1e-15:
-                best_score = score
-                best = slot
-                best_index = index
-        scores[best.cid] -= total_weight
+        n = len(idle)
+        if n >= _VECTOR_PICK_MIN:
+            # vectorized replica of the scalar scan below: the
+            # element-wise float64 add is bit-identical to the per-slot
+            # ``old + weight``, and ``total_weight`` keeps the scalar
+            # path's left-to-right accumulation order (never np.sum,
+            # whose pairwise reduction rounds differently)
+            weights = [slot.weight for slot in idle]
+            total_weight = sum(weights)
+            old = np.fromiter((get_score(slot.cid, 0.0) for slot in idle),
+                              dtype=np.float64, count=n)
+            new = old + np.asarray(weights, dtype=np.float64)
+            new_list = new.tolist()
+            for slot, score in zip(idle, new_list):
+                scores[slot.cid] = score
+            top = new.max()
+            if int((new >= top - 1e-15).sum()) == 1:
+                best_index = int(new.argmax())
+            else:
+                # scores within the epsilon of the max: replay the
+                # scalar first-wins-beyond-epsilon scan exactly
+                best_index = 0
+                best_score = -inf
+                for index, score in enumerate(new_list):
+                    if score > best_score + 1e-15:
+                        best_score = score
+                        best_index = index
+            best = idle[best_index]
+            scores[best.cid] = new_list[best_index] - total_weight
+        else:
+            total_weight = 0.0
+            best = None
+            best_index = -1
+            best_score = -inf
+            for index, slot in enumerate(idle):
+                weight = slot.weight
+                total_weight += weight
+                score = get_score(slot.cid, 0.0) + weight
+                scores[slot.cid] = score
+                if score > best_score + 1e-15:
+                    best_score = score
+                    best = slot
+                    best_index = index
+            scores[best.cid] -= total_weight
         del idle[best_index]
         idle_ids.discard(best.cid)
         pending.add(best.cid)

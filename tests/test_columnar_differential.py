@@ -138,6 +138,16 @@ REGISTRY_CASES = {
     "azure-replay": {"duration_minutes": 2},
 }
 
+#: Federated scenarios run only on the event-level plane — the spec
+#: layer rejects ``data_plane="columnar"`` with a federation — so the
+#: gauntlet asserts that rejection instead of diffing the planes.
+FEDERATED_CASES = {
+    "fig12": {"duration": 40.0},
+    "site-outage-failover": {"duration": 60.0},
+    "partitioned-control-plane": {"duration": 60.0},
+    "flash-crowd-one-region": {"duration": 60.0},
+}
+
 #: Scenario kinds whose envelopes embed host wall-clock measurements.
 TIMING_SCENARIOS = {"fig5"}
 
@@ -146,7 +156,20 @@ def test_every_registered_scenario_has_a_differential_case():
     """The gauntlet goes stale the moment someone registers a scenario."""
     from repro.scenarios import registry
 
-    assert set(REGISTRY_CASES) == set(registry.names())
+    assert set(REGISTRY_CASES) | set(FEDERATED_CASES) == set(registry.names())
+    assert not set(REGISTRY_CASES) & set(FEDERATED_CASES)
+
+
+@pytest.mark.parametrize("name", sorted(FEDERATED_CASES))
+def test_federated_scenarios_reject_the_columnar_plane(name):
+    """Every federated shard refuses the columnar plane at spec level."""
+    built = build(name, **FEDERATED_CASES[name])
+    shards = _shards(built)
+    assert shards, name
+    for spec in shards:
+        assert spec.federation is not None
+        with pytest.raises(ValueError, match="data_plane='event'"):
+            apply_overrides(spec, {"data_plane": "columnar"})
 
 
 @pytest.mark.parametrize("name", sorted(REGISTRY_CASES))

@@ -62,6 +62,7 @@ def _preset_sweep(name: str) -> SweepSpec:
         "fig10": lambda: build("fig10", fail_at=20.0, recover_at=40.0,
                                duration=60.0),
         "policy-shootout": lambda: build("policy-shootout", duration=45.0),
+        "fig12": lambda: build("fig12", duration=45.0),
     }
     if name not in presets:
         raise SystemExit(f"unknown preset {name!r}; choose from {sorted(presets)}")
@@ -190,7 +191,7 @@ def main(argv=None) -> int:
     """Run the chaos stages and report which invariants held."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--preset", default="fig3",
-                        choices=["fig3", "fig10", "policy-shootout"],
+                        choices=["fig3", "fig10", "policy-shootout", "fig12"],
                         help="which acceptance sweep to attack (default fig3)")
     parser.add_argument("--spec", default=None,
                         help="attack an explicit sweep.json instead of a preset")
