@@ -2,7 +2,7 @@
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] [--output BENCH_PR7.json]
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] [--output BENCH_PR9.json]
     PYTHONPATH=src python benchmarks/perf/run_perf.py --compare BENCH_PR1.json
 
 Two kinds of baseline are reported:
@@ -233,9 +233,25 @@ def run_all(quick: bool, repeats: Optional[int] = None) -> dict:
         )
     )
 
+    replay_kwargs = (
+        {"functions": 200, "duration_minutes": 240}
+        if quick
+        else {"functions": 1000, "duration_minutes": 720}
+    )
+    replay = _best_of(
+        repeats, scenarios.bench_trace_replay, key="invocations_per_sec",
+        **replay_kwargs,
+    )
+    replay_row = _bench_row(
+        "trace_replay_stream", "invocations_per_sec",
+        replay["invocations_per_sec"], None, None, replay_kwargs,
+    )
+    replay_row["invocations"] = replay["invocations"]
+    rows.append(replay_row)
+
     return {
         "schema_version": SCHEMA_VERSION,
-        "pr": "PR7",
+        "pr": "PR9",
         "created_unix": time.time(),
         "quick": quick,
         "host": {
@@ -291,8 +307,8 @@ def main(argv=None) -> int:
         "raise on noisy hosts",
     )
     parser.add_argument(
-        "--output", default=str(_REPO / "BENCH_PR7.json"),
-        help="where to write the JSON document (default: repo root BENCH_PR7.json)",
+        "--output", default=str(_REPO / "BENCH_PR9.json"),
+        help="where to write the JSON document (default: repo root BENCH_PR9.json)",
     )
     parser.add_argument(
         "--compare", metavar="BENCH_JSON", default=None,

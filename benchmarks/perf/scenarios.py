@@ -281,6 +281,37 @@ def bench_record_path(n_requests: int = 200_000) -> Dict[str, float]:
     }
 
 
+def bench_trace_replay(
+    functions: int = 1000, duration_minutes: int = 720,
+    chunk_minutes: int = 360, sketch_size: int = 4096,
+) -> Dict[str, float]:
+    """Sustained streaming-replay throughput of one ``trace_replay`` shard.
+
+    Runs a single-shard slice of the ``fig9-at-scale`` population
+    through the constant-memory kernel (chunked synthesis → counters →
+    reservoir sketch) and reports invocations/sec — the BENCH number the
+    "planet-scale replay" claim is tracked by.
+    """
+    from repro.scenarios import build
+    from repro.scenarios.trace_shard import run_trace_replay
+
+    sweep = build(
+        "fig9-at-scale", functions=functions,
+        duration_minutes=duration_minutes, shards=1,
+        chunk_minutes=chunk_minutes, sketch_size=sketch_size,
+    )
+    spec = next(iter(sweep.expand()))
+    start = time.perf_counter()
+    outcome = run_trace_replay(spec)
+    elapsed = time.perf_counter() - start
+    invocations = outcome.data["replay"]["invocations"]
+    return {
+        "invocations": float(invocations),
+        "seconds": elapsed,
+        "invocations_per_sec": invocations / elapsed,
+    }
+
+
 def _drifting_rate(function_index: int, epoch: int) -> float:
     """Deterministic slowly-drifting per-function arrival rate.
 

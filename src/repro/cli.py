@@ -37,6 +37,13 @@ Commands
     previous interrupted run.  The results JSON is byte-identical
     regardless of the worker count, and an interrupted-then-resumed run
     matches an uninterrupted one byte-for-byte.
+``replay``
+    Run the ``fig9-at-scale`` streaming trace replay: shard an
+    Azure-scale synthetic population over the same fault-tolerant
+    executor, then merge the per-shard envelopes into one
+    ``repro/trace-replay@1`` envelope.  Inherits every ``sweep``
+    resilience flag; the merged output is byte-identical for any
+    ``--workers`` value and across interrupt+resume.
 """
 
 from __future__ import annotations
@@ -317,6 +324,67 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Run the sharded at-scale trace replay and emit the merged envelope.
+
+    Exit codes mirror ``sweep``: 0 = merged envelope written; 1 =
+    degraded sweep (nothing merged — a partial replay would understate
+    every total; resume it instead); 2 = usage errors; 130 =
+    interrupted (journal intact, no output file).
+    """
+    import signal
+
+    from repro.scenarios import build
+    from repro.scenarios.executor import ResilientSweepRunner
+    from repro.scenarios.trace_shard import merge_trace_shards
+
+    if args.resume and not args.journal:
+        print("--resume requires --journal PATH", file=sys.stderr)
+        return 2
+    try:
+        sweep = build(
+            "fig9-at-scale",
+            functions=args.functions,
+            duration_minutes=args.minutes,
+            shards=args.shards,
+            chunk_minutes=args.chunk_minutes,
+            sketch_size=args.sketch_size,
+        )
+        runner = ResilientSweepRunner(
+            sweep,
+            workers=args.workers,
+            retries=args.retries,
+            timeout=args.timeout,
+            journal=args.journal,
+            resume=args.resume,
+            on_failure="continue",
+        )
+    except (KeyError, ValueError, OSError) as error:
+        print(_error_text(error), file=sys.stderr)
+        return 2
+    previous_sigterm = signal.signal(signal.SIGTERM, _sigterm_as_interrupt)
+    try:
+        envelope = runner.run()
+    except KeyboardInterrupt:
+        where = f"; journal intact at {args.journal!r} (resume with --resume)" \
+            if args.journal else ""
+        print(f"replay interrupted{where}", file=sys.stderr)
+        return 130
+    except (KeyError, ValueError, OSError) as error:
+        print(_error_text(error), file=sys.stderr)
+        return 2
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+    if envelope.get("incomplete"):
+        failed = [r for r in envelope["results"] if r.get("status") != "ok"]
+        print(f"replay degraded: {len(failed)}/{len(envelope['results'])} "
+              f"shard(s) did not complete; not merging a partial replay "
+              f"(re-run with --journal/--resume)", file=sys.stderr)
+        return 1
+    _emit_json(merge_trace_shards(envelope), args.output, args.pretty)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for tests)."""
     from repro.scenarios.registry import experiment_names
@@ -430,6 +498,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "backoff (default 0.5; jitter is deterministic "
                             "from the shard seed)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    replay = sub.add_parser(
+        "replay", help="run the fig9-at-scale streaming trace replay",
+        description="Shard the Azure-scale synthetic population over the "
+                    "fault-tolerant executor, stream every shard through "
+                    "the constant-memory replay kernel, and merge the "
+                    "shard envelopes into one repro/trace-replay@1 "
+                    "envelope. Output bytes are identical for any "
+                    "--workers value and across interrupt+resume.",
+    )
+    replay.add_argument("--functions", type=int, default=10_000,
+                        help="population size (default 10000)")
+    replay.add_argument("--minutes", type=int, default=1440,
+                        help="trace length in minutes (default 1440 = one day)")
+    replay.add_argument("--shards", type=int, default=32,
+                        help="contiguous function-range shards (default 32)")
+    replay.add_argument("--chunk-minutes", type=int, default=360,
+                        help="minutes of one trace held in memory at a time")
+    replay.add_argument("--sketch-size", type=int, default=4096,
+                        help="reservoir samples per shard sketch")
+    replay.add_argument("--workers", "-j", type=int, default=1,
+                        help="worker processes (default 1 = serial)")
+    replay.add_argument("--output", "-o", default=None,
+                        help="write the merged envelope to this file "
+                             "('-' = stdout); written atomically")
+    replay.add_argument("--pretty", action="store_true",
+                        help="indent the JSON output (default: canonical bytes)")
+    replay.add_argument("--journal", default=None, metavar="PATH",
+                        help="append shard lifecycle records (JSONL) to PATH; "
+                             "enables --resume")
+    replay.add_argument("--resume", action="store_true",
+                        help="skip shards already completed in the journal")
+    replay.add_argument("--retries", type=int, default=0,
+                        help="extra attempts per shard after a failure/timeout")
+    replay.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-shard wall-clock budget")
+    replay.set_defaults(func=_cmd_replay)
 
     return parser
 

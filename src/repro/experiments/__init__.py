@@ -23,14 +23,16 @@ the paper's numbers.
 | Figure 7       | :mod:`repro.experiments.fig7_deflation` |
 | Figure 8       | :mod:`repro.experiments.fig8_reclamation` |
 | Figure 9       | :mod:`repro.experiments.fig9_azure` |
+| Figure 9 at scale* | :mod:`repro.experiments.fig9_at_scale` |
 | Figure 10*     | :mod:`repro.experiments.fig10_recovery` |
 | Figure 11*     | :mod:`repro.experiments.fig11_policies` |
 | Figure 12*     | :mod:`repro.experiments.fig12_federation` |
 
-(*) Figures 10–12 are this reproduction's own extensions — node
-failure recovery under fault injection, the control-plane policy
-shootout, and the geo-distributed federation router comparison — not
-figures of the source paper.
+(*) Figure 9 at scale and Figures 10–12 are this reproduction's own
+extensions — the Azure-scale streaming trace replay, node failure
+recovery under fault injection, the control-plane policy shootout, and
+the geo-distributed federation router comparison — not figures of the
+source paper.
 """
 
 from typing import Callable, Dict, Optional
@@ -43,6 +45,7 @@ from repro.experiments.fig6_autoscaling import run_fig6, Fig6Result
 from repro.experiments.fig7_deflation import run_fig7, Fig7Point
 from repro.experiments.fig8_reclamation import run_fig8, Fig8Result
 from repro.experiments.fig9_azure import run_fig9, Fig9Result
+from repro.experiments.fig9_at_scale import run_fig9_at_scale, Fig9AtScaleResult
 from repro.experiments.fig10_recovery import run_fig10, Fig10Result
 from repro.experiments.fig11_policies import run_fig11, Fig11Result
 from repro.experiments.fig12_federation import run_fig12, Fig12Result
@@ -104,6 +107,19 @@ def _render_fig9(duration: Optional[float]) -> str:
     return format_fig9(run_fig9(duration_minutes=int(duration or 30)))
 
 
+def _render_fig9_at_scale(duration: Optional[float]) -> str:
+    """Figure 9 at-scale streaming replay; ``duration`` is minutes of trace.
+
+    Runs the full 10,000-function population (≈30 s of compute for the
+    default synthetic day; scales linearly with ``duration``).
+    """
+    from repro.experiments.fig9_at_scale import format_fig9_at_scale
+
+    return format_fig9_at_scale(
+        run_fig9_at_scale(duration_minutes=int(duration or 1440))
+    )
+
+
 def _render_fig10(duration: Optional[float]) -> str:
     """Figure 10 node-failure recovery comparison (fault injection).
 
@@ -149,6 +165,7 @@ RENDERERS: Dict[str, Callable[[Optional[float]], str]] = {
     "fig7": _render_fig7,
     "fig8": _render_fig8,
     "fig9": _render_fig9,
+    "fig9-at-scale": _render_fig9_at_scale,
     "fig10": _render_fig10,
     "fig11": _render_fig11,
     "fig12": _render_fig12,
@@ -191,6 +208,8 @@ __all__ = [
     "Fig8Result",
     "run_fig9",
     "Fig9Result",
+    "run_fig9_at_scale",
+    "Fig9AtScaleResult",
     "run_fig10",
     "Fig10Result",
     "run_fig11",

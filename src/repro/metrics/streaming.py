@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
 
@@ -200,6 +200,78 @@ class ReservoirQuantiles:
             return 0.0
         return float(np.quantile(self._sorted, p))
 
+    def state(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of the reservoir for cross-shard merging.
+
+        The snapshot carries the total observation count, the configured
+        bound, and the retained (sorted) samples — everything
+        :func:`merge_reservoir_states` needs.  ``count == len(samples)``
+        means the reservoir never overflowed, i.e. the samples are the
+        *exact* multiset of observations.
+        """
+        return {
+            "count": self._count,
+            "max_samples": self.max_samples,
+            "samples": [float(v) for v in self._sorted],
+        }
+
+
+def merge_reservoir_states(
+    states: Iterable[Mapping[str, Any]],
+    quantiles: Iterable[float] = (0.5, 0.90, 0.95, 0.99),
+) -> Dict[str, Any]:
+    """Merge per-shard :meth:`ReservoirQuantiles.state` snapshots.
+
+    Determinism contract (pinned by ``tests/test_trace_replay.py``):
+
+    * **Order-insensitive.**  Each retained sample is weighted by the
+      observations it represents (``count / len(samples)`` of its
+      shard), all (value, weight) pairs are sorted by that total order,
+      and each quantile is the smallest value whose cumulative weight
+      reaches ``p`` of the total (the type-1 inverted CDF).  The result
+      is a pure function of the *multiset* of shard states — permuting
+      the shards cannot change a byte.
+    * **Exact when nothing was dropped.**  If every shard retained all
+      of its observations (``count == len(samples)``, reported as
+      ``"exact": True``), every weight is 1.0 and the merged quantiles
+      equal the quantiles of the pooled raw observations — so any shard
+      decomposition of the same observation set merges to identical
+      bytes.  Otherwise the merge is the standard weighted-sample
+      estimate and only identical decompositions are byte-comparable.
+    """
+    pairs: List[tuple] = []
+    total_count = 0
+    exact = True
+    for state in states:
+        count = int(state["count"])
+        samples = state["samples"]
+        total_count += count
+        if count != len(samples):
+            exact = False
+        if samples:
+            weight = count / len(samples)
+            pairs.extend((float(v), weight) for v in samples)
+    result: Dict[str, Any] = {"count": total_count, "exact": exact}
+    pairs.sort()
+    total_weight = sum(w for _, w in pairs)
+    for p in quantiles:
+        if not 0.0 < p < 1.0:
+            raise ValueError("quantiles must be in (0, 1)")
+        key = f"p{round(p * 100)}"
+        if not pairs:
+            result[key] = 0.0
+            continue
+        target = p * total_weight
+        cumulative = 0.0
+        value = pairs[-1][0]
+        for v, w in pairs:
+            cumulative += w
+            if cumulative >= target:
+                value = v
+                break
+        result[key] = float(value)
+    return result
+
 
 class StreamingSummary:
     """Constant-memory replacement for a stored-sample waiting-time summary.
@@ -326,4 +398,5 @@ __all__ = [
     "StreamingSummary",
     "UnsafeSketchError",
     "ZERO_ATOM_UNSAFE_FRACTION",
+    "merge_reservoir_states",
 ]

@@ -51,6 +51,11 @@ from repro.scenarios.spec import (
     WorkloadSpec,
     canonical_json,
 )
+from repro.scenarios.trace_shard import (
+    TRACE_MERGE_SCHEMA,
+    merge_trace_shards,
+    shard_ranges,
+)
 from repro.scenarios.sweep import (
     SWEEP_RESULT_SCHEMA,
     SWEEP_SCHEMA,
@@ -68,6 +73,7 @@ __all__ = [
     "SWEEP_RESULT_SCHEMA",
     "SWEEP_SCHEMA",
     "RESULT_SCHEMA",
+    "TRACE_MERGE_SCHEMA",
     "AllocationSpec",
     "ResilientSweepRunner",
     "RetryPolicy",
@@ -92,8 +98,10 @@ __all__ = [
     "example_names",
     "experiment_names",
     "get_entry",
+    "merge_trace_shards",
     "names",
     "register",
     "run_scenario",
     "run_sweep",
+    "shard_ranges",
 ]

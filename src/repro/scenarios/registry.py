@@ -519,6 +519,59 @@ def _fig9(duration_minutes: int = 60, seed: int = 9,
 
 
 # ----------------------------------------------------------------------
+# Figure 9 at scale: streaming replay of an Azure-scale population
+# ----------------------------------------------------------------------
+@register("fig9-at-scale",
+          "Figure 9 at scale: streaming replay of an Azure-scale synthetic "
+          "population, sharded over the resilient sweep runner",
+          tags=("paper",))
+def _fig9_at_scale(functions: int = 10_000, duration_minutes: int = 1440,
+                   shards: int = 32, chunk_minutes: int = 360,
+                   sketch_size: int = 4096, seed: int = 9,
+                   trace_seed: int = 2019,
+                   population_seed: int = 2021) -> SweepSpec:
+    """The planet-scale replay: one ``trace_replay`` shard per sweep point.
+
+    Defaults replay a full synthetic day of 10,000 functions (≈5×10^7
+    invocations) in 32 shards; every knob scales down for smoke tests.
+    ``seed_mode="base"`` keeps one master seed — per-function randomness
+    comes from ``(population_seed, trace_seed, global index)`` only, so
+    the shard decomposition never perturbs a function's trace.
+    """
+    from repro.scenarios.trace_shard import shard_ranges
+    from repro.workloads.stream import DEFAULT_POPULATION
+
+    base = ScenarioSpec(
+        name="fig9-at-scale",
+        kind="trace_replay",
+        description="Azure-scale streaming trace replay against the paper's "
+                    "M/M/c capacity model",
+        duration=duration_minutes * 60.0,
+        seed=seed,
+        metrics=("counters",),
+        params={
+            "population": dict(DEFAULT_POPULATION,
+                               functions=functions, seed=population_seed),
+            "trace_seed": trace_seed,
+            "duration_minutes": duration_minutes,
+            "chunk_minutes": chunk_minutes,
+            "sketch_size": sketch_size,
+            "function_range": [0, functions],
+        },
+    )
+    points = tuple({"params.function_range": [lo, hi]}
+                   for lo, hi in shard_ranges(functions, shards))
+    return SweepSpec(
+        name="fig9-at-scale",
+        base=base,
+        points=points,
+        seed_mode="base",  # sharding must never perturb per-function RNG
+        description="Sharded constant-memory replay of the synthetic "
+                    "Azure-scale population",
+    )
+
+
+# ----------------------------------------------------------------------
 # Figure 10: fault injection — recovery from node failures and churn
 # ----------------------------------------------------------------------
 def _recovery_base(rate: float, fail_at: float, recover_at: Optional[float],

@@ -33,6 +33,9 @@ Results schema (``repro/scenario-result@1``)
       "federation": {...}      # federated scenarios only: router stats,
                                # health-belief transitions, per-site
                                # summaries (see repro.federation.runner)
+      "replay": {...}          # kind="trace_replay" only: one shard's
+                               # integer counters + reservoir sketch
+                               # (see repro.scenarios.trace_shard)
     }
 
 Only the metric groups named in ``spec.metrics`` are populated.  The
@@ -483,6 +486,16 @@ def _run_deflation_curve(spec: ScenarioSpec) -> ScenarioOutcome:
 
 
 # ----------------------------------------------------------------------
+# kind = "trace_replay"
+# ----------------------------------------------------------------------
+def _run_trace_replay(spec: ScenarioSpec) -> ScenarioOutcome:
+    """One shard of the streaming trace replay (lazy import of the kernel)."""
+    from repro.scenarios.trace_shard import run_trace_replay
+
+    return run_trace_replay(spec)
+
+
+# ----------------------------------------------------------------------
 # kind = "catalogue"
 # ----------------------------------------------------------------------
 def _run_catalogue(spec: ScenarioSpec) -> ScenarioOutcome:
@@ -503,6 +516,7 @@ _EXECUTORS: Dict[str, Callable[[ScenarioSpec], ScenarioOutcome]] = {
     "sizing_benchmark": _run_sizing_benchmark,
     "deflation_curve": _run_deflation_curve,
     "catalogue": _run_catalogue,
+    "trace_replay": _run_trace_replay,
 }
 
 

@@ -38,6 +38,12 @@ Scenario kinds
     set of functions (Figure 7).
 ``catalogue``
     No simulation: dump the Table 1 function catalogue.
+``trace_replay``
+    No discrete-event simulation: stream one shard of an Azure-scale
+    synthetic trace population through the constant-memory replay
+    kernel (:mod:`repro.scenarios.trace_shard`).  ``params`` carries
+    the population/replay knobs — validated eagerly here so a bad
+    replay spec fails before any shard runs.
 """
 
 from __future__ import annotations
@@ -72,6 +78,7 @@ SCENARIO_KINDS = (
     "sizing_benchmark",
     "deflation_curve",
     "catalogue",
+    "trace_replay",
 )
 
 #: Kinds that drive the discrete-event simulator (and therefore need workloads).
@@ -107,6 +114,50 @@ def canonical_json(obj: Any) -> str:
     parallel-equals-serial sweep guarantee is stated over.
     """
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _validate_trace_replay_params(params: Mapping[str, Any]) -> None:
+    """Eagerly validate the ``params`` of a ``trace_replay`` scenario.
+
+    A replay spec fans out to many shards under the resilient runner, so
+    every numeric knob is checked at construction — a typo'd population
+    or an inverted ``function_range`` must fail *before* any shard runs,
+    not minutes into a sharded sweep.
+    """
+    required = ("population", "trace_seed", "duration_minutes",
+                "chunk_minutes", "sketch_size", "function_range")
+    missing = [key for key in required if key not in params]
+    if missing:
+        raise ValueError(f"trace_replay params missing keys: {missing}")
+    population = params["population"]
+    if not isinstance(population, Mapping):
+        raise ValueError("trace_replay params.population must be a mapping")
+    for key in ("functions", "seed", "sporadic_fraction",
+                "rate_log10_mean", "rate_log10_sigma"):
+        if key not in population:
+            raise ValueError(f"trace_replay population missing key {key!r}")
+    functions = int(population["functions"])
+    if functions < 1:
+        raise ValueError("trace_replay population.functions must be >= 1")
+    if not 0.0 <= float(population["sporadic_fraction"]) <= 1.0:
+        raise ValueError("trace_replay population.sporadic_fraction must be in [0, 1]")
+    if float(population["rate_log10_sigma"]) < 0:
+        raise ValueError("trace_replay population.rate_log10_sigma must be non-negative")
+    if int(params["duration_minutes"]) < 1:
+        raise ValueError("trace_replay duration_minutes must be >= 1")
+    if int(params["chunk_minutes"]) < 1:
+        raise ValueError("trace_replay chunk_minutes must be >= 1")
+    if int(params["sketch_size"]) < 10:
+        raise ValueError("trace_replay sketch_size must be >= 10")
+    function_range = params["function_range"]
+    if len(tuple(function_range)) != 2:
+        raise ValueError("trace_replay function_range must be a [lo, hi) pair")
+    lo, hi = (int(v) for v in function_range)
+    if not 0 <= lo < hi <= functions:
+        raise ValueError(
+            f"trace_replay function_range [{lo}, {hi}) must satisfy "
+            f"0 <= lo < hi <= population.functions ({functions})"
+        )
 
 
 def _freeze(value: Any) -> Any:
@@ -576,6 +627,10 @@ class ScenarioSpec:
         unknown = [m for m in self.metrics if m not in KNOWN_METRICS]
         if unknown:
             raise ValueError(f"unknown metrics {unknown}; valid: {KNOWN_METRICS}")
+        if self.kind == "trace_replay":
+            if self.workloads:
+                raise ValueError("kind 'trace_replay' synthesises its own workloads")
+            _validate_trace_replay_params(self.params)
         if self.kind == "openwhisk" and self.controller.policy not in ("lass", "openwhisk"):
             # the alias always runs the openwhisk policy; naming another
             # one is a contradiction ("lass" — the default — means unset)

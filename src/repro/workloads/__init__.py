@@ -11,6 +11,9 @@
 * :mod:`repro.workloads.azure` — synthesis of Azure-Functions-like
   per-minute traces (the substitution for the proprietary Azure Public
   Dataset sample used in §6.7).
+* :mod:`repro.workloads.stream` — chunked (constant-memory) synthesis of
+  those traces plus the deterministic Azure-scale population behind the
+  ``fig9-at-scale`` replay.
 """
 
 from repro.workloads.functions import (
@@ -28,7 +31,17 @@ from repro.workloads.schedules import (
     StepSchedule,
     TraceSchedule,
 )
-from repro.workloads.azure import AzureTraceConfig, synthesize_azure_trace, synthesize_azure_traces
+from repro.workloads.azure import (
+    AzureTraceConfig,
+    azure_rate_series,
+    synthesize_azure_trace,
+    synthesize_azure_traces,
+)
+from repro.workloads.stream import (
+    PopulationFunction,
+    iter_azure_trace_chunks,
+    population_function,
+)
 
 __all__ = [
     "FunctionProfile",
@@ -44,6 +57,10 @@ __all__ = [
     "TraceSchedule",
     "CompositeSchedule",
     "AzureTraceConfig",
+    "PopulationFunction",
+    "azure_rate_series",
+    "iter_azure_trace_chunks",
+    "population_function",
     "synthesize_azure_trace",
     "synthesize_azure_traces",
 ]

@@ -74,14 +74,23 @@ class AzureTraceConfig:
             raise ValueError("variability must be non-negative")
 
 
-def synthesize_azure_trace(
+def azure_rate_series(
     config: AzureTraceConfig,
     duration_minutes: int,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Synthesise one function's per-minute invocation counts.
+    """The per-minute *rate* series underlying one synthetic trace.
 
-    Returns an integer array of length ``duration_minutes``.
+    This is the first of the two RNG passes of
+    :func:`synthesize_azure_trace`: it consumes exactly the burst /
+    modulation draws (one ``uniform`` per minute plus an occasional
+    ``geometric`` for sporadic functions; one phase ``uniform`` plus one
+    ``normal`` per minute for steady ones) and returns the non-negative
+    expected-arrivals-per-minute array the Poisson pass then samples.
+    Splitting the passes is what lets
+    :func:`repro.workloads.stream.iter_azure_trace_chunks` draw the
+    Poisson counts chunk by chunk while staying byte-identical to the
+    monolithic synthesis.
     """
     if duration_minutes <= 0:
         raise ValueError("duration_minutes must be positive")
@@ -114,8 +123,24 @@ def synthesize_azure_trace(
         for m in range(1, duration_minutes):
             noise[m] = 0.7 * noise[m - 1] + rng.normal(0, sigma)
         rates = base_per_minute * modulation * np.clip(1.0 + noise, 0.2, 3.0)
+    return np.clip(rates, 0.0, None)
 
-    counts = rng.poisson(np.clip(rates, 0.0, None))
+
+def synthesize_azure_trace(
+    config: AzureTraceConfig,
+    duration_minutes: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Synthesise one function's per-minute invocation counts.
+
+    Returns an integer array of length ``duration_minutes``.  The RNG is
+    consumed in two passes — the :func:`azure_rate_series` draws, then a
+    single Poisson pass over the whole rate array — a contract the
+    chunked streaming path relies on (see
+    :mod:`repro.workloads.stream`).
+    """
+    rates = azure_rate_series(config, duration_minutes, rng)
+    counts = rng.poisson(rates)
     return counts.astype(int)
 
 
@@ -184,6 +209,7 @@ def trace_statistics(schedules: Mapping[str, TraceSchedule]) -> Dict[str, Dict[s
 __all__ = [
     "AzureTraceConfig",
     "DEFAULT_AZURE_CONFIGS",
+    "azure_rate_series",
     "synthesize_azure_trace",
     "synthesize_azure_traces",
     "trace_statistics",

@@ -124,6 +124,11 @@ REGISTRY_CASES = {
     "fig7": {},
     "fig8": {"phase_duration": 30.0},
     "fig9": {"duration_minutes": 2},
+    # trace_replay never touches the request lifecycle, so both planes
+    # run the identical streaming kernel — the case pins that the spec
+    # round-trips and the envelope stays plane-independent
+    "fig9-at-scale": {"functions": 12, "duration_minutes": 4, "shards": 3,
+                      "chunk_minutes": 3, "sketch_size": 16},
     "fig10": {"duration": 120.0, "fail_at": 30.0, "recover_at": 60.0},
     "fig11": {"duration": 40.0},
     "node-failure-recovery": {"duration": 120.0, "fail_at": 30.0,

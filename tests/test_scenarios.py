@@ -107,9 +107,10 @@ class TestSerialization:
 class TestRegistry:
     def test_every_paper_artefact_has_a_spec(self):
         expected = {"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-                    # fig10 (recovery), fig11 (policy shootout) and fig12
-                    # (federation routers) are the repo's own extensions
-                    "fig10", "fig11", "fig12"}
+                    # fig9-at-scale (streaming trace replay), fig10 (recovery),
+                    # fig11 (policy shootout) and fig12 (federation routers)
+                    # are the repo's own extensions
+                    "fig9-at-scale", "fig10", "fig11", "fig12"}
         assert set(experiment_names()) == expected
 
     def test_renderers_cover_exactly_the_registered_experiments(self):

@@ -63,6 +63,9 @@ def _preset_sweep(name: str) -> SweepSpec:
                                duration=60.0),
         "policy-shootout": lambda: build("policy-shootout", duration=45.0),
         "fig12": lambda: build("fig12", duration=45.0),
+        "fig9-at-scale": lambda: build("fig9-at-scale", functions=48,
+                                       duration_minutes=12, shards=6,
+                                       chunk_minutes=5, sketch_size=64),
     }
     if name not in presets:
         raise SystemExit(f"unknown preset {name!r}; choose from {sorted(presets)}")
@@ -191,7 +194,8 @@ def main(argv=None) -> int:
     """Run the chaos stages and report which invariants held."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--preset", default="fig3",
-                        choices=["fig3", "fig10", "policy-shootout", "fig12"],
+                        choices=["fig3", "fig10", "policy-shootout", "fig12",
+                                 "fig9-at-scale"],
                         help="which acceptance sweep to attack (default fig3)")
     parser.add_argument("--spec", default=None,
                         help="attack an explicit sweep.json instead of a preset")
